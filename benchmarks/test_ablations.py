@@ -1,0 +1,168 @@
+"""Ablations of the three §VII design choices (plus the poll interval).
+
+The paper attributes AkitaRTM's negligible overhead to:
+
+1. acting **on demand** — no work when no request arrives;
+2. **fine-grained serialization** — one component or value per request;
+3. running in a **dedicated thread** parallel to the simulation.
+
+Each ablation builds the *opposite* design and measures the same
+simulation:
+
+* A1 ``push_all``      — a thread continuously serializes every
+  component (a push-based design);
+* A2 ``coarse``        — every request serializes the whole simulation
+  instead of one component;
+* A3 ``in_engine``     — monitoring work runs inside an engine hook on
+  the simulation thread;
+* A4 ``poll=X``        — the value-watch sampler interval swept from
+  relaxed to aggressive.
+
+Expected shape: the paper's design ("baseline") is never slower than
+its ablated counterpart, and the aggressive variants cost measurably
+more.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.akita import HookPos
+from repro.core import Monitor
+from repro.core.inspector import serialize_component
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+
+def _build():
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+    FIR(num_samples=16384).enqueue(platform.driver)
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    return platform, monitor
+
+
+# ------------------------------------------------------------------ A1
+@pytest.mark.parametrize("mode", ["on_demand", "push_all"])
+def test_a1_on_demand_vs_push(benchmark, mode):
+    benchmark.group = "A1-on-demand"
+    benchmark.name = mode
+
+    def run():
+        platform, monitor = _build()
+        stop = threading.Event()
+
+        def push_loop():
+            # A push design serializes everything, always, whether or
+            # not anybody is looking.
+            while not stop.wait(0.05):
+                for name in monitor.component_names():
+                    monitor.component_detail(name)
+
+        pusher = None
+        if mode == "push_all":
+            pusher = threading.Thread(target=push_loop, daemon=True)
+            pusher.start()
+        completed = platform.run()
+        stop.set()
+        if pusher is not None:
+            pusher.join(timeout=5)
+        assert completed
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+# ------------------------------------------------------------------ A2
+@pytest.mark.parametrize("granularity", ["fine", "coarse"])
+def test_a2_serialization_granularity(benchmark, granularity):
+    """Cost of answering one 'inspect' interaction."""
+    benchmark.group = "A2-granularity"
+    benchmark.name = granularity
+    platform, monitor = _build()
+    platform.start()
+    platform.engine.run_until(2e-6)  # populate some state
+    names = monitor.component_names()
+
+    if granularity == "fine":
+        # One component per request (the paper's design): the cost the
+        # user pays per click.
+        target = names[len(names) // 2]
+        benchmark(lambda: monitor.component_detail(target))
+    else:
+        # Whole-simulation serialization per request.
+        def serialize_everything():
+            return [serialize_component(monitor.component(n))
+                    for n in names]
+
+        benchmark(serialize_everything)
+        # The shape claim of §VII design choice 2: answering a request
+        # at whole-simulation granularity costs at least an order of
+        # magnitude more than one component.
+        assert benchmark.stats.stats.median > 10e-6 * len(names)
+    platform.simulation.abort()
+
+
+# ------------------------------------------------------------------ A3
+@pytest.mark.parametrize("mode", ["dedicated_thread", "in_engine"])
+def test_a3_threading_model(benchmark, mode):
+    benchmark.group = "A3-threading"
+    benchmark.name = mode
+
+    def run():
+        platform, monitor = _build()
+        names = platform.simulation.component_names
+        counter = {"events": 0}
+
+        if mode == "in_engine":
+            # Monitoring work executed ON the simulation thread, inside
+            # an engine hook, every 2000 events (roughly matching the
+            # dedicated thread's duty cycle).
+            def hook(ctx):
+                if ctx.pos is not HookPos.AFTER_EVENT:
+                    return
+                counter["events"] += 1
+                if counter["events"] % 2000 == 0:
+                    index = (counter["events"] // 2000) % len(names)
+                    monitor.component_detail(names[index])
+
+            platform.engine.accept_hook(hook)
+            completed = platform.run()
+        else:
+            stop = threading.Event()
+
+            def poll_loop():
+                index = 0
+                while not stop.wait(0.02):
+                    monitor.component_detail(names[index % len(names)])
+                    index += 1
+
+            poller = threading.Thread(target=poll_loop, daemon=True)
+            poller.start()
+            completed = platform.run()
+            stop.set()
+            poller.join(timeout=5)
+        assert completed
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+# ------------------------------------------------------------------ A4
+@pytest.mark.parametrize("interval", [0.2, 0.02, 0.002])
+def test_a4_value_poll_interval(benchmark, interval):
+    benchmark.group = "A4-poll-interval"
+    benchmark.name = f"poll={interval}"
+
+    def run():
+        platform, monitor = _build()
+        monitor.sample_interval = interval
+        chiplet = platform.chiplets[0]
+        monitor.watch_value(chiplet.robs[0].name, "size")
+        monitor.watch_value(chiplet.l1s[0].name, "transactions")
+        monitor.watch_value(chiplet.rdma.name, "transactions")
+        monitor.start_sampler()
+        completed = platform.run()
+        monitor.stop_sampler()
+        assert completed
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,126 @@
+"""Case study 2 (§V-B): detecting and debugging the write-buffer hang.
+
+The bench reproduces the debugging session on the bug-enabled platform:
+
+* the store-storm workload provably deadlocks (engine dry, workload
+  incomplete) and AkitaRTM flags the hang from frozen time + low CPU;
+* the buffer snapshot shows L1 / L2 / write-buffer / DRAM-path buffers
+  with content (the paper's entry point to the search);
+* stepping the suspect components with Tick + Kick Start surfaces the
+  mutual wait (L2's storage ↔ write buffer) via their diagnostics;
+* the patched simulator completes the identical workload.
+
+Timed quantities: time-to-hang detection, and the fixed-variant run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor, RTMClient
+from repro.gpu import GPUPlatform
+from repro.workloads import StoreStorm
+
+
+def _launch(buggy):
+    platform = GPUPlatform(StoreStorm.trigger_config(buggy=buggy))
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    monitor.start_sampler()
+    url = monitor.start_server()
+    StoreStorm().enqueue(platform.driver)
+    return platform, monitor, RTMClient(url)
+
+
+def test_case_study2_hang_detected(benchmark):
+    benchmark.group = "case-study-2"
+
+    def run_until_hang_detected():
+        platform, monitor, client = _launch(buggy=True)
+        thread = threading.Thread(
+            target=lambda: platform.run(hang_wait=60.0), daemon=True)
+        start = time.perf_counter()
+        thread.start()
+        while True:
+            status = client.hang()
+            if status["hung"]:
+                break
+            assert time.perf_counter() - start < 120
+            time.sleep(0.05)
+        elapsed = time.perf_counter() - start
+        state = (platform, monitor, client, thread, status)
+        return elapsed, state
+
+    elapsed, (platform, monitor, client, thread, status) = \
+        benchmark.pedantic(run_until_hang_detected, rounds=1,
+                           iterations=1)
+
+    # The hang signature.
+    assert status["run_state"] == "hung"
+    assert platform.simulation.run_state == "hung"
+
+    # The analyzer's stuck-buffer list covers the memory hierarchy.
+    stuck = {row["buffer"] for row in status["stuck_buffers"]}
+    assert any("L1VCache" in name for name in stuck)
+    assert any("L2" in name or "WriteBuffer" in name for name in stuck)
+
+    # Step the suspects (Tick + Kick Start) and read their diagnostics.
+    blocked = {}
+    for name in client.components():
+        if "L2[" in name or "WriteBuffer" in name:
+            client.tick(name)
+            client.kickstart()
+            time.sleep(0.05)
+            detail = client.component(name)
+            reason = detail["fields"].get("blocked_on")
+            if reason:
+                blocked[name] = reason
+    assert any("local storage" in reason for reason in blocked.values())
+    assert any("write buffer" in reason for reason in blocked.values())
+    print("\n\n=== Case study 2: localized deadlock ===")
+    for name, reason in blocked.items():
+        print(f"  {name:28s} blocked on: {reason}")
+
+    platform.simulation.abort()
+    thread.join(timeout=30)
+    monitor.stop_server()
+
+
+def test_case_study2_fix_completes(benchmark):
+    benchmark.group = "case-study-2"
+
+    def run_fixed():
+        platform, monitor, client = _launch(buggy=False)
+        completed = platform.run(hang_wait=0.0)
+        monitor.stop_server()
+        return completed
+
+    completed = benchmark.pedantic(run_fixed, rounds=1, iterations=1)
+    assert completed is True
+
+
+def test_case_study2_progress_freezes_on_hang(benchmark):
+    """The first hang symptom the paper lists: progress bars stop."""
+    benchmark.group = "case-study-2"
+
+    def run_and_observe():
+        platform, monitor, client = _launch(buggy=True)
+        thread = threading.Thread(
+            target=lambda: platform.run(hang_wait=60.0), daemon=True)
+        thread.start()
+        while not client.hang()["hung"]:
+            time.sleep(0.05)
+        bars_then = {b["name"]: b["completed"] for b in client.progress()}
+        time.sleep(0.3)
+        bars_now = {b["name"]: b["completed"] for b in client.progress()}
+        platform.simulation.abort()
+        thread.join(timeout=30)
+        monitor.stop_server()
+        return bars_then, bars_now
+
+    bars_then, bars_now = benchmark.pedantic(run_and_observe, rounds=1,
+                                             iterations=1)
+    assert bars_then == bars_now  # frozen
+    kernel = next(n for n in bars_then if n.startswith("kernel"))
+    assert bars_then[kernel] < 16  # stopped short of completion

@@ -1,0 +1,68 @@
+"""Figure 6: the user-study survey distribution.
+
+Runs the full six-participant scripted study — every participant drives
+the real AkitaRTM HTTP API against live simulations — and checks the
+paper's reported findings:
+
+* PT3, PT4, PT5 identify the ROB and RDMA bottlenecks; PT1/PT6 (novices)
+  and PT2 (stopped at the first-level diagnosis) do not;
+* the bottleneck analyzer is the most used feature in the diagnostic
+  part, the profiling panel the least used overall;
+* the regenerated survey table equals the paper's Figure 6
+  (grand mean 4.5, Q4 highest at 4.83, Q6 lowest at 4.17 with the one
+  anonymous 'disagree').
+"""
+
+import pytest
+
+from repro.studies import PAPER_FIGURE6, run_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study()
+
+
+def test_fig6_study_runs(benchmark):
+    """Time one full six-participant study (12 live simulations)."""
+    benchmark.group = "fig6"
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    assert len(result.sessions) == 6
+
+
+def test_fig6_success_roster(benchmark, study):
+    benchmark.group = "fig6"
+    benchmark(lambda: study.successful_participants)
+    assert study.successful_participants == ["PT3", "PT4", "PT5"]
+
+
+def test_fig6_feature_usage(benchmark, study):
+    benchmark.group = "fig6"
+    benchmark(lambda: study.feature_usage)
+    assert study.most_used_feature == "bottleneck_analyzer"
+    usage = study.feature_usage
+    assert usage["profiler"] <= min(
+        usage[f] for f in ("bottleneck_analyzer", "component_detail",
+                           "progress"))
+
+
+def test_fig6_survey_table_matches_paper(benchmark, study):
+    benchmark.group = "fig6"
+    benchmark(lambda: study.survey.grand_mean)
+    print("\n\n=== Figure 6: survey response distribution ===")
+    print(study.survey.format())
+    assert study.matches_paper_figure6()
+    assert study.survey.grand_mean == pytest.approx(4.5, abs=0.01)
+
+
+def test_fig6_themes_cover_open_coding(benchmark, study):
+    benchmark.group = "fig6"
+    benchmark(lambda: [s.themes for s in study.sessions])
+    all_themes = {t for s in study.sessions for t in s.themes}
+    assert {"companion", "different perspective", "learning tool",
+            "needs guidance for new users"} <= all_themes
+    # The learning-tool theme comes specifically from the undergrads
+    # who did not complete the diagnosis (PT1, PT6).
+    learners = {s.profile.code for s in study.sessions
+                if "learning tool" in s.themes}
+    assert learners == {"PT1", "PT6"}

@@ -1,0 +1,53 @@
+"""Figure 7: monitoring overhead across six benchmarks × four scenarios.
+
+The paper runs each benchmark under (1) no monitoring, (2) monitoring
+without a browser, (3) a passive browser, and (4) active simulated user
+interaction, five times each, and finds the worst overhead to be 3.7%
+(FIR) with most cells inside the noise.
+
+Here each (benchmark, scenario) cell is a pytest-benchmark entry
+(grouped per benchmark so the comparison is printed side by side).  As
+in the paper, the timed region is the *simulation execution* only:
+attaching the monitor, starting/stopping the web server, and tearing the
+platform down happen outside the measured window.
+
+Expected shape (asserted): every monitored scenario completes, and its
+mean overhead stays within sanity bounds — monitoring must never come
+close to doubling execution time.
+"""
+
+import pytest
+
+from .conftest import SCENARIOS, bench_suite, prepare_scenario
+
+_SUITE = bench_suite()
+
+
+@pytest.mark.parametrize("workload_name", sorted(_SUITE))
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_overhead(benchmark, fig7_results, workload_name, scenario):
+    benchmark.group = f"fig7-{workload_name}"
+    benchmark.name = scenario
+    factory = _SUITE[workload_name]
+    contexts = []
+
+    def setup():
+        if contexts:
+            contexts.pop().teardown()
+        ctx = prepare_scenario(factory, scenario)
+        contexts.append(ctx)
+        return (ctx,), {}
+
+    def run_simulation(ctx):
+        assert ctx.platform.run()
+
+    benchmark.pedantic(run_simulation, setup=setup, rounds=3,
+                       iterations=1, warmup_rounds=0)
+    last = contexts.pop()
+    if scenario == "active":
+        assert last.poller is not None and last.poller.requests > 0
+    last.teardown()
+
+    cells = fig7_results.setdefault(workload_name,
+                                    {s: [] for s in SCENARIOS})
+    cells[scenario].extend(benchmark.stats.stats.data)

@@ -1,0 +1,87 @@
+"""Scaling behaviour of the monitor with simulator size.
+
+Not a paper figure, but the question any adopter asks next: what do
+registration, buffer snapshots, and component serialization cost as the
+simulated system grows from a toy to the paper's full 4-chiplet,
+256-CU machine (>1000 components, >4000 buffers)?
+
+Expected shape (asserted): registration and snapshot cost grow roughly
+linearly with the component count — no superlinear blowup — and even at
+full scale a bottleneck-analyzer snapshot stays in the
+single-millisecond range, consistent with the on-demand design being
+usable at the paper's scale.
+"""
+
+import pytest
+
+from repro.core import Monitor
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+
+CONFIGS = {
+    "small-2x2x2": GPUPlatformConfig.small(num_chiplets=2),
+    "medium-2x8x4": GPUPlatformConfig.small(num_chiplets=2,
+                                            sas_per_gpu=8, cus_per_sa=4),
+    "paper-4x16x4": GPUPlatformConfig.r9_nano_mcm(num_chiplets=4),
+}
+
+
+@pytest.fixture(scope="module")
+def platforms():
+    return {name: GPUPlatform(cfg) for name, cfg in CONFIGS.items()}
+
+
+@pytest.mark.parametrize("scale", list(CONFIGS))
+def test_registration_cost(benchmark, platforms, scale):
+    benchmark.group = "scaling-registration"
+    benchmark.name = scale
+    platform = platforms[scale]
+
+    def register():
+        monitor = Monitor()
+        monitor.register_engine(platform.engine)
+        for component in platform.simulation.components:
+            monitor.register_component(component)
+        return monitor
+
+    monitor = benchmark.pedantic(register, rounds=2, iterations=1)
+    assert monitor.analyzer.buffer_count > 0
+
+
+@pytest.mark.parametrize("scale", list(CONFIGS))
+def test_snapshot_cost(benchmark, platforms, scale):
+    benchmark.group = "scaling-snapshot"
+    benchmark.name = scale
+    platform = platforms[scale]
+    monitor = Monitor(platform.simulation)
+
+    rows = benchmark(lambda: monitor.analyzer.snapshot(
+        sort="percent", top=30, include_empty=True))
+    assert rows
+    if scale == "paper-4x16x4":
+        assert monitor.analyzer.buffer_count > 2000
+        # Full paper scale: a snapshot must stay interactive (<150 ms
+        # even on this slow single-core host).
+        assert benchmark.stats.stats.median < 0.15
+
+
+@pytest.mark.parametrize("scale", list(CONFIGS))
+def test_component_detail_cost(benchmark, platforms, scale):
+    benchmark.group = "scaling-detail"
+    benchmark.name = scale
+    platform = platforms[scale]
+    monitor = Monitor(platform.simulation)
+    target = platform.chiplets[0].l1s[0].name
+
+    detail = benchmark(lambda: monitor.component_detail(target))
+    # One-component serialization is scale-independent by design.
+    assert detail["name"] == target
+    assert benchmark.stats.stats.median < 0.01
+
+
+def test_tree_scales_to_paper_size(benchmark, platforms):
+    benchmark.group = "scaling-tree"
+    platform = platforms["paper-4x16x4"]
+    monitor = Monitor(platform.simulation)
+    tree = benchmark(monitor.component_tree)
+    assert len(platform.simulation.components) > 1000
+    assert len(tree["GPU[0]"]) >= 16 + 4 * 3 + 3  # SAs + banks + ctrl

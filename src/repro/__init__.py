@@ -1,0 +1,15 @@
+"""AkitaRTM reproduction (MICRO 2024).
+
+Layers, bottom-up:
+
+* :mod:`repro.akita` — discrete-event simulation framework (the substrate).
+* :mod:`repro.gpu` — an MGPUSim-style multi-chiplet GPU simulator.
+* :mod:`repro.workloads` — the six MGPUSim benchmarks as trace-driven
+  kernels.
+* :mod:`repro.core` — **AkitaRTM itself**: the real-time monitoring
+  plugin, HTTP API, dashboard, profiler, and analyzers.
+* :mod:`repro.studies` — scripted-participant reproduction of the paper's
+  user study.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,73 @@
+"""``repro.akita`` — a Python reimplementation of the Akita DES framework.
+
+This is the substrate MGPUSim (here ``repro.gpu``) is built on and the
+layer AkitaRTM (``repro.core``) hooks into.  Key concepts:
+
+* :class:`Engine` — the serial event engine with pause/resume control.
+* :class:`Component` / :class:`TickingComponent` — hardware blocks that
+  communicate exclusively through :class:`Port` objects.
+* :class:`Buffer` — bounded FIFOs; their fullness drives the paper's
+  bottleneck analysis.
+* :class:`DirectConnection` — latency + backpressure message transport.
+* :class:`Simulation` — engine + component registry + the hang-aware run
+  loop ("kick start" semantics).
+"""
+
+from .buffer import Buffer
+from .component import Component, TickingComponent
+from .connection import Connection, DirectConnection
+from .engine import Engine, RunState
+from .errors import (
+    BufferError_,
+    ConfigurationError,
+    EngineError,
+    PortError,
+    SchedulingError,
+    SimulationError,
+)
+from .event import CallbackEvent, Event, Handler, TickEvent, VTimeInSec
+from .hooks import Hook, HookCtx, HookPos, Hookable
+from .message import ControlMsg, GeneralRsp, Msg
+from .port import Port
+from .queue import EventQueue
+from .simulation import Simulation
+from .ticker import GHZ, MHZ, cycles_to_seconds, next_tick, period, this_tick
+from . import naming
+
+__all__ = [
+    "Buffer",
+    "CallbackEvent",
+    "Component",
+    "Connection",
+    "ControlMsg",
+    "DirectConnection",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "GHZ",
+    "GeneralRsp",
+    "Handler",
+    "Hook",
+    "HookCtx",
+    "HookPos",
+    "Hookable",
+    "MHZ",
+    "Msg",
+    "Port",
+    "RunState",
+    "SchedulingError",
+    "SimulationError",
+    "Simulation",
+    "TickEvent",
+    "TickingComponent",
+    "VTimeInSec",
+    "BufferError_",
+    "ConfigurationError",
+    "EngineError",
+    "PortError",
+    "cycles_to_seconds",
+    "naming",
+    "next_tick",
+    "period",
+    "this_tick",
+]

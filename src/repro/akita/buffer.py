@@ -1,0 +1,100 @@
+"""Bounded message buffers.
+
+Buffers are the central observable of AkitaRTM's bottleneck analysis: a
+buffer that is persistently full marks the component that drains it as a
+likely performance bottleneck (paper §IV-C, Figure 4), and non-empty
+buffers after the engine runs dry mark the components involved in a hang
+(case study 2).
+
+Every buffer has a hierarchical ``name`` (e.g.
+``GPU[1].SA[3].L1VROB[0].TopPort.Buf``) so the analyzer can report where
+it lives without holding references to the owning component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, Optional
+
+from .errors import BufferError_, ConfigurationError
+
+
+class Buffer:
+    """A bounded FIFO queue of messages (or any payload).
+
+    The monitor discovers instances of this class by reflection; any
+    object reachable from a registered component that is a :class:`Buffer`
+    shows up in the bottleneck analyzer.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"buffer {name!r} needs a positive capacity, got {capacity}")
+        self.name = name
+        self._capacity = int(capacity)
+        self._items: Deque[Any] = deque()
+
+    # -- capacity queries ------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    @property
+    def fullness(self) -> float:
+        """Occupancy in [0, 1]; the analyzer's *percent* sort key."""
+        return len(self._items) / self._capacity
+
+    def can_push(self) -> bool:
+        return len(self._items) < self._capacity
+
+    @property
+    def free_slots(self) -> int:
+        return self._capacity - len(self._items)
+
+    # -- mutation ---------------------------------------------------------
+    def push(self, item: Any) -> None:
+        """Append *item*.
+
+        Raises
+        ------
+        BufferError_
+            If the buffer is full.  Callers must check :meth:`can_push`;
+            overflowing a hardware buffer is a modelling bug, not a
+            recoverable condition.
+        """
+        if len(self._items) >= self._capacity:
+            raise BufferError_(f"push to full buffer {self.name}")
+        self._items.append(item)
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item."""
+        if not self._items:
+            raise BufferError_(f"pop from empty buffer {self.name}")
+        return self._items.popleft()
+
+    def peek(self) -> Optional[Any]:
+        """Return the oldest item without removing it, or ``None``."""
+        if not self._items:
+            return None
+        return self._items[0]
+
+    def remove(self, item: Any) -> None:
+        """Remove a specific item (used by reorder buffers)."""
+        self._items.remove(item)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Buffer {self.name} {self.size}/{self.capacity}>"

@@ -1,0 +1,139 @@
+"""Components: named pieces of simulated hardware.
+
+A :class:`Component` owns ports and reacts to events.  A
+:class:`TickingComponent` additionally follows Akita's tick discipline:
+
+* Each cycle the engine delivers a :class:`~repro.akita.event.TickEvent`
+  and the component's :meth:`~TickingComponent.tick` tries to make
+  progress.
+* If the tick made progress, another tick is scheduled for the next
+  cycle; otherwise the component *sleeps* — it consumes zero events until
+  something wakes it (a message arrival, freed buffer space, or
+  AkitaRTM's *Tick* button via :meth:`TickingComponent.tick_later`).
+
+The sleep/wake discipline is what makes hangs observable: a deadlocked
+simulation puts every component to sleep, the event queue runs dry, and
+the monitor sees virtual time freeze while buffers stay non-empty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import naming
+from .engine import Engine
+from .event import Event, TickEvent
+from .hooks import Hookable
+from .port import Port
+from .ticker import GHZ, next_tick
+
+
+class Component(Hookable):
+    """Base class for all simulated hardware blocks."""
+
+    def __init__(self, name: str, engine: Engine):
+        super().__init__()
+        naming.validate(name)
+        self.name = name
+        self._engine = engine
+        self._ports: Dict[str, Port] = {}
+
+    # -- ports ---------------------------------------------------------
+    def add_port(self, local_name: str, buf_capacity: int = 4) -> Port:
+        """Create a port named ``<component>.<local_name>``."""
+        if local_name in self._ports:
+            raise ValueError(
+                f"component {self.name} already has port {local_name}")
+        port = Port(self, naming.join(self.name, local_name), buf_capacity)
+        self._ports[local_name] = port
+        return port
+
+    def port(self, local_name: str) -> Port:
+        return self._ports[local_name]
+
+    @property
+    def ports(self) -> List[Port]:
+        return list(self._ports.values())
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    # -- event handling --------------------------------------------------
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    # -- notifications (called by ports/connections) -----------------------
+    def notify_recv(self, port: Port) -> None:
+        """A message arrived at *port*."""
+
+    def notify_available(self, port: Port) -> None:
+        """Buffer space freed somewhere this component may want to send."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class TickingComponent(Component):
+    """A component driven by per-cycle tick events with sleep/wake."""
+
+    def __init__(self, name: str, engine: Engine, freq: float = GHZ):
+        super().__init__(name, engine)
+        self.freq = freq
+        self._next_scheduled: float | None = None
+        self._last_tick_time = -1.0
+        self.tick_count = 0  # total ticks executed (observable by RTM)
+
+    # -- the per-cycle work, supplied by subclasses -------------------------
+    def tick(self) -> bool:
+        """Advance one cycle.  Return True iff progress was made."""
+        raise NotImplementedError
+
+    # -- tick machinery ----------------------------------------------------
+    def handle(self, event: Event) -> None:
+        if isinstance(event, TickEvent):
+            if (self._next_scheduled is not None
+                    and event.time >= self._next_scheduled):
+                self._next_scheduled = None
+            if event.time == self._last_tick_time:
+                # Duplicate tick in the same cycle (can happen when the
+                # monitor pokes a component that was already scheduled).
+                return
+            self._last_tick_time = event.time
+            self.tick_count += 1
+            if self.tick():
+                self.tick_later()
+
+    def tick_later(self) -> None:
+        """Schedule a tick for the next cycle unless an earlier-or-equal
+        tick is already pending.
+
+        Safe to call from monitoring threads; this is the primitive
+        behind AkitaRTM's *Tick* button.
+        """
+        self.tick_at(next_tick(self._engine.now, self.freq))
+
+    def tick_at(self, t: float) -> None:
+        """Schedule a tick at cycle-aligned time *t* (used by components
+        that wait out a fixed latency, e.g. DRAM).
+
+        If an earlier tick is already pending this is a no-op; if only a
+        *later* tick is pending, the earlier one is scheduled anyway and
+        the later one becomes a harmless stale wakeup.
+        """
+        t = max(t, next_tick(self._engine.now, self.freq))
+        if self._next_scheduled is not None and self._next_scheduled <= t:
+            return
+        self._next_scheduled = t
+        self._engine.schedule(TickEvent(t, self))
+
+    @property
+    def asleep(self) -> bool:
+        """True when no tick is scheduled (the component is sleeping)."""
+        return self._next_scheduled is None
+
+    def notify_recv(self, port: Port) -> None:
+        self.tick_later()
+
+    def notify_available(self, port: Port) -> None:
+        self.tick_later()

@@ -1,0 +1,104 @@
+"""Connections move messages between ports with latency and backpressure.
+
+:class:`DirectConnection` models a fixed-latency point-to-point (or small
+fan-in) link.  A slot in the destination buffer is *reserved* at send
+time, so an in-flight message always has a place to land; combined with
+FIFO event ordering this gives per-(src,dst) in-order delivery.
+
+When a component retrieves a message from one of its ports, every
+component plugged into the same connection is woken
+(:meth:`notify_available`) so sleeping senders retry.  Spurious wakeups
+cost one no-progress tick; lost wakeups would hang the simulation, so we
+err on the side of waking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, runtime_checkable
+
+from .engine import Engine
+from .errors import PortError
+from .event import CallbackEvent
+from .message import Msg
+from .port import Port
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """Anything that can transport messages between plugged-in ports."""
+
+    def plug_in(self, port: Port) -> None: ...
+
+    def can_send(self, src: Port, msg: Msg) -> bool: ...
+
+    def send(self, src: Port, msg: Msg) -> None: ...
+
+    def notify_available(self, port: Port) -> None: ...
+
+
+class DirectConnection:
+    """Fixed-latency link between a set of ports.
+
+    Parameters
+    ----------
+    name:
+        Hierarchical name, for diagnostics.
+    engine:
+        Engine used to schedule delivery events.
+    latency:
+        Transfer latency in (virtual) seconds.  Zero-latency links
+        deliver via a secondary event in the same timestamp.
+    """
+
+    def __init__(self, name: str, engine: Engine, latency: float = 1e-9):
+        self.name = name
+        self._engine = engine
+        self._latency = float(latency)
+        self._ports: List[Port] = []
+        self._inflight: Dict[Port, int] = {}
+        self.msg_count = 0  # total messages transported (observable)
+
+    @property
+    def latency(self) -> float:
+        return self._latency
+
+    @property
+    def ports(self) -> List[Port]:
+        return list(self._ports)
+
+    def plug_in(self, port: Port) -> None:
+        """Attach *port* to this connection."""
+        port.set_connection(self)
+        self._ports.append(port)
+        self._inflight[port] = 0
+
+    def can_send(self, src: Port, msg: Msg) -> bool:
+        dst = msg.dst
+        if dst is None or dst not in self._inflight:
+            raise PortError(
+                f"message {msg!r} has no destination on connection "
+                f"{self.name}")
+        return dst.buf.free_slots - self._inflight[dst] > 0
+
+    def send(self, src: Port, msg: Msg) -> None:
+        """Reserve a destination slot and schedule delivery."""
+        dst = msg.dst
+        assert dst is not None
+        self._inflight[dst] += 1
+        msg.send_time = self._engine.now
+        self.msg_count += 1
+        deliver_at = self._engine.now + self._latency
+
+        def _deliver(_event: CallbackEvent, msg: Msg = msg) -> None:
+            self._inflight[msg.dst] -= 1
+            msg.dst.deliver(msg)
+
+        self._engine.schedule(
+            CallbackEvent(deliver_at, _deliver, secondary=True))
+
+    def notify_available(self, port: Port) -> None:
+        """A buffer slot freed at *port*; wake potential senders."""
+        for p in self._ports:
+            if p is port or p.component is None:
+                continue
+            p.component.notify_available(p)

@@ -1,0 +1,212 @@
+"""The serial discrete-event engine.
+
+The engine owns the event queue and the virtual clock.  It is the single
+object AkitaRTM needs to control a simulation: the monitor pauses and
+resumes it, queries its time, and counts its events to estimate simulation
+speed.
+
+Threading model
+---------------
+Exactly one thread (the *simulation thread*) calls :meth:`Engine.run`.
+Any other thread (e.g. AkitaRTM's HTTP server thread) may call
+:meth:`pause`, :meth:`continue_`, :meth:`schedule` and the read-only
+accessors.  Pausing blocks the simulation thread *between* events, so a
+paused simulation is at a consistent event boundary and can be inspected
+safely.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Optional
+
+from .errors import EngineError, SchedulingError
+from .event import Event, VTimeInSec
+from .hooks import Hookable, HookCtx, HookPos
+from .queue import EventQueue
+
+
+class RunState(enum.Enum):
+    """Lifecycle of an engine as observed by monitoring tools."""
+
+    IDLE = "idle"          # run() not yet called
+    RUNNING = "running"    # processing events
+    PAUSED = "paused"      # blocked between two events on user request
+    DRY = "dry"            # queue ran empty; simulation may be done or hung
+    ENDED = "ended"        # terminate() called; run() will not resume
+
+
+class Engine(Hookable):
+    """A serial event-driven engine with external pause/resume control."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue = EventQueue()
+        self._now: VTimeInSec = 0.0
+        self._lock = threading.RLock()
+        self._resume = threading.Event()
+        self._resume.set()
+        self._pause_requested = False
+        self._terminated = False
+        self._state = RunState.IDLE
+        self._event_count = 0
+        self._throttle_delay = 0.0  # wall seconds inserted per event
+
+    # ------------------------------------------------------------------
+    # Read-only accessors (safe from any thread)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> VTimeInSec:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def current_time(self) -> VTimeInSec:
+        """Alias of :attr:`now`, mirroring Akita's ``CurrentTime()``."""
+        return self._now
+
+    @property
+    def run_state(self) -> RunState:
+        return self._state
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far."""
+        return self._event_count
+
+    @property
+    def pending_event_count(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event) -> None:
+        """Insert *event* into the queue.
+
+        Raises
+        ------
+        SchedulingError
+            If the event is in the past.
+        """
+        if event.time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at {event.time} when now={self._now}")
+        with self._lock:
+            self._queue.push(event)
+
+    # ------------------------------------------------------------------
+    # Control (callable from monitoring threads)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Request the engine to block before processing its next event.
+
+        Idempotent.  Returns immediately; the simulation thread parks at
+        the next event boundary.
+        """
+        self._pause_requested = True
+        self._resume.clear()
+        self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_PAUSE))
+
+    def continue_(self) -> None:
+        """Release a paused engine.  Idempotent."""
+        self._pause_requested = False
+        self._resume.set()
+        self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_CONTINUE))
+
+    @property
+    def paused(self) -> bool:
+        return self._pause_requested
+
+    def set_throttle(self, events_per_second: float = 0.0) -> None:
+        """Slow the simulation down to at most *events_per_second*
+        (0 = full speed).
+
+        This is the paper's "slowing down time in the simulator to try
+        to catch specific instances of component ticks" (§V-C): with
+        the event rate capped to human speed, the dashboard's
+        self-refreshing views become a live animation of the hardware.
+        Safe to call from monitoring threads.
+        """
+        if events_per_second <= 0:
+            self._throttle_delay = 0.0
+        else:
+            self._throttle_delay = 1.0 / events_per_second
+
+    @property
+    def throttled(self) -> bool:
+        return self._throttle_delay > 0.0
+
+    def terminate(self) -> None:
+        """Abort the simulation: run() returns as soon as possible and
+        never processes another event."""
+        self._terminated = True
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # Execution (simulation thread only)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Process events until the queue is empty or :meth:`terminate`.
+
+        May be called repeatedly: a hung simulation leaves the queue empty
+        without reaching its completion condition, and scheduling a fresh
+        event (e.g. AkitaRTM's *Tick* button) followed by another
+        :meth:`run` resumes processing — this is the "kick start" path
+        described in the paper's second case study.
+        """
+        if self._terminated:
+            raise EngineError("cannot run a terminated engine")
+        self._state = RunState.RUNNING
+        self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_START))
+        while True:
+            if self._terminated:
+                break
+            if self._pause_requested:
+                self._state = RunState.PAUSED
+                self._resume.wait()
+                self._state = RunState.RUNNING
+                continue
+            with self._lock:
+                if len(self._queue) == 0:
+                    break
+                event = self._queue.pop()
+            self._now = event.time
+            self.invoke_hooks(
+                HookCtx(self, self._now, HookPos.BEFORE_EVENT, event))
+            event.handler.handle(event)
+            self._event_count += 1
+            self.invoke_hooks(
+                HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+            if self._throttle_delay:
+                time.sleep(self._throttle_delay)
+        if self._terminated:
+            self._state = RunState.ENDED
+            self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_END))
+        else:
+            self._state = RunState.DRY
+            self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_DRY))
+
+    def run_until(self, t: VTimeInSec) -> None:
+        """Process events with time ≤ *t* (useful in tests).
+
+        Does not honor pause requests; intended for single-threaded use.
+        """
+        self._state = RunState.RUNNING
+        while True:
+            with self._lock:
+                nxt = self._queue.next_time()
+                if nxt is None or nxt > t or self._terminated:
+                    break
+                event = self._queue.pop()
+            self._now = event.time
+            self.invoke_hooks(
+                HookCtx(self, self._now, HookPos.BEFORE_EVENT, event))
+            event.handler.handle(event)
+            self._event_count += 1
+            self.invoke_hooks(
+                HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+        self._now = max(self._now, t)
+        self._state = RunState.DRY

@@ -1,0 +1,47 @@
+"""Exception types shared across the Akita-style simulation framework.
+
+The framework mirrors the error discipline of the original Go Akita
+framework: programming errors (scheduling into the past, sending through a
+disconnected port) raise immediately rather than being silently absorbed,
+because a simulator that keeps running after such a mistake produces results
+that cannot be trusted.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation framework."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled at a time earlier than *now*.
+
+    Discrete-event simulation is only causal when the event queue is
+    processed in non-decreasing time order; scheduling into the past would
+    silently corrupt that order.
+    """
+
+
+class PortError(SimulationError):
+    """Raised for illegal port operations (double-connect, send on an
+    unconnected port, retrieving from an empty port when the caller claimed
+    a message was present)."""
+
+
+class BufferError_(SimulationError):
+    """Raised when pushing to a full buffer or popping from an empty one.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`BufferError`.
+    """
+
+
+class EngineError(SimulationError):
+    """Raised for illegal engine state transitions (e.g. calling
+    ``continue_`` on an engine that was never paused)."""
+
+
+class ConfigurationError(SimulationError):
+    """Raised when a platform/component builder is given inconsistent
+    parameters (zero capacity buffers, no chiplets, etc.)."""

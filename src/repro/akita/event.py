@@ -1,0 +1,102 @@
+"""Events and event handlers.
+
+An event is the atom of a discrete-event simulation: a (time, handler)
+pair, processed in non-decreasing time order by the engine.  Handlers are
+usually components; the most common event is a :class:`TickEvent`, which
+asks a ticking component to advance by one cycle.
+
+Two details mirror the Go Akita framework:
+
+* **Secondary events.**  Within a single timestamp, *primary* events run
+  before *secondary* ones.  Connections use secondary events so that all
+  components observe a consistent pre-tick state before messages move.
+* **Event IDs.**  Every event gets a monotonically increasing ID that
+  breaks ties deterministically, so two runs of the same simulation
+  process events in exactly the same order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Protocol, runtime_checkable
+
+#: Virtual time, in simulated seconds.  A 1 GHz component ticks every 1e-9.
+VTimeInSec = float
+
+_event_ids = itertools.count()
+
+
+@runtime_checkable
+class Handler(Protocol):
+    """Anything that can process events."""
+
+    def handle(self, event: "Event") -> None:
+        """Process *event*.  Called exactly once by the engine."""
+        ...
+
+
+class Event:
+    """Base class of all events.
+
+    Parameters
+    ----------
+    time:
+        Virtual time at which the event fires.
+    handler:
+        Object whose :meth:`Handler.handle` is invoked when it fires.
+    secondary:
+        If true, the event runs after all primary events of the same
+        timestamp.
+    """
+
+    __slots__ = ("time", "handler", "secondary", "id")
+
+    def __init__(self, time: VTimeInSec, handler: Handler,
+                 secondary: bool = False):
+        self.time = float(time)
+        self.handler = handler
+        self.secondary = bool(secondary)
+        self.id = next(_event_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self).__name__
+        return f"<{kind} t={self.time:.9f} id={self.id}>"
+
+
+class TickEvent(Event):
+    """Asks a ticking component to advance one cycle.
+
+    Tick events are *secondary* so that message deliveries scheduled for
+    the same timestamp land in the destination buffers before the
+    component inspects them.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, time: VTimeInSec, handler: Handler):
+        super().__init__(time, handler, secondary=True)
+
+
+class CallbackEvent(Event):
+    """Runs an arbitrary callable at a given time.
+
+    Useful for driver timeouts, RTM "kick start" pokes and tests.  The
+    callback receives the event so it can reschedule itself.
+    """
+
+    __slots__ = ("callback",)
+
+    class _CallbackHandler:
+        __slots__ = ()
+
+        def handle(self, event: "Event") -> None:
+            assert isinstance(event, CallbackEvent)
+            event.callback(event)
+
+    _handler_singleton = _CallbackHandler()
+
+    def __init__(self, time: VTimeInSec,
+                 callback: Callable[["CallbackEvent"], None],
+                 secondary: bool = False):
+        super().__init__(time, self._handler_singleton, secondary)
+        self.callback = callback

@@ -1,0 +1,79 @@
+"""A minimal hook system for observing simulation internals.
+
+Hooks are how AkitaRTM (and any other instrumentation) observes the engine
+and components without modifying them.  A :class:`Hookable` object invokes
+every attached hook with a :class:`HookCtx` describing what just happened.
+
+The engine fires hooks around each event; components may fire hooks around
+message handling.  Hooks must be cheap: they run on the simulation thread.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, List
+
+
+class HookPos(enum.Enum):
+    """Well-known positions at which hooks fire."""
+
+    BEFORE_EVENT = "before_event"
+    AFTER_EVENT = "after_event"
+    ENGINE_START = "engine_start"
+    ENGINE_PAUSE = "engine_pause"
+    ENGINE_CONTINUE = "engine_continue"
+    ENGINE_DRY = "engine_dry"  # queue ran empty
+    ENGINE_END = "engine_end"
+
+
+@dataclass
+class HookCtx:
+    """Context handed to each hook invocation.
+
+    Attributes
+    ----------
+    domain:
+        The hookable object that fired the hook (engine, component...).
+    now:
+        Current virtual time.
+    pos:
+        Where in the processing flow the hook fired.
+    item:
+        The subject of the hook (usually the event being processed).
+    """
+
+    domain: Any
+    now: float
+    pos: HookPos
+    item: Any = None
+
+
+Hook = Callable[[HookCtx], None]
+
+
+class Hookable:
+    """Mixin that lets observers attach hooks to an object."""
+
+    def __init__(self) -> None:
+        self._hooks: List[Hook] = []
+
+    def accept_hook(self, hook: Hook) -> None:
+        """Attach *hook*; it will be invoked on every hookable action."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: Hook) -> None:
+        """Detach *hook*.  Missing hooks are ignored."""
+        try:
+            self._hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def invoke_hooks(self, ctx: HookCtx) -> None:
+        """Invoke all attached hooks with *ctx*."""
+        for hook in self._hooks:
+            hook(ctx)
+
+    @property
+    def num_hooks(self) -> int:
+        return len(self._hooks)

@@ -1,0 +1,63 @@
+"""Messages exchanged between component ports.
+
+Components in the Akita paradigm communicate *only* by sending messages
+through ports; there is no shared state.  That isolation is what lets
+AkitaRTM monitor each component independently (paper §II).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .port import Port
+
+_msg_ids = itertools.count()
+
+
+class Msg:
+    """Base class of all messages.
+
+    Attributes
+    ----------
+    src, dst:
+        Sending / receiving ports.  ``src`` is stamped by the port on
+        send; ``dst`` must be set by the sender.
+    size_bytes:
+        Wire size, used by bandwidth-limited connections (the inter-
+        chiplet network).
+    """
+
+    __slots__ = ("id", "src", "dst", "size_bytes", "send_time")
+
+    def __init__(self, dst: Optional["Port"] = None, size_bytes: int = 4):
+        self.id = next(_msg_ids)
+        self.src: Optional["Port"] = None
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.send_time: float = -1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dst = self.dst.name if self.dst is not None else "?"
+        return f"<{type(self).__name__} #{self.id} -> {dst}>"
+
+
+class GeneralRsp(Msg):
+    """Generic acknowledgement carrying the id of the original request."""
+
+    __slots__ = ("original_id",)
+
+    def __init__(self, dst: "Port", original_id: int, size_bytes: int = 4):
+        super().__init__(dst, size_bytes)
+        self.original_id = original_id
+
+
+class ControlMsg(Msg):
+    """Out-of-band control message (start/drain/flush commands)."""
+
+    __slots__ = ("command",)
+
+    def __init__(self, dst: "Port", command: str):
+        super().__init__(dst, size_bytes=4)
+        self.command = command

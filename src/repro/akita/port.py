@@ -1,0 +1,101 @@
+"""Ports: the endpoints through which components exchange messages.
+
+A port owns one bounded *incoming* buffer.  Sending is mediated by the
+connection the port is plugged into; the connection reserves a slot in
+the destination buffer at send time so messages in flight can never
+overflow the destination (hardware-accurate backpressure).
+
+The incoming buffer is named ``<port name>.Buf`` so it shows up in the
+bottleneck analyzer exactly as in the paper's Figure 3
+(``GPU[1].SA[15].L1VROB[0].TopPort.Buf``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from .buffer import Buffer
+from .errors import PortError
+from .message import Msg
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .component import Component
+    from .connection import Connection
+
+
+class Port:
+    """A named, buffered endpoint attached to a component."""
+
+    def __init__(self, component: Optional["Component"], name: str,
+                 buf_capacity: int = 4):
+        self.component = component
+        self.name = name
+        self.buf = Buffer(f"{name}.Buf", buf_capacity)
+        self._connection: Optional["Connection"] = None
+        #: Messages sent / received through this port (monitorable;
+        #: deltas give the per-port throughput view the paper lists as
+        #: a future extension in §VIII).
+        self.num_sent = 0
+        self.num_delivered = 0
+
+    # -- wiring ------------------------------------------------------------
+    @property
+    def connection(self) -> Optional["Connection"]:
+        return self._connection
+
+    def set_connection(self, conn: "Connection") -> None:
+        if self._connection is not None:
+            raise PortError(f"port {self.name} is already connected")
+        self._connection = conn
+
+    # -- sending -----------------------------------------------------------
+    def can_send(self, msg: Msg) -> bool:
+        """True if *msg* can be sent right now without overflowing the
+        destination."""
+        if self._connection is None:
+            raise PortError(f"port {self.name} is not connected")
+        return self._connection.can_send(self, msg)
+
+    def send(self, msg: Msg) -> bool:
+        """Send *msg* through the connection.
+
+        Returns ``True`` on success, ``False`` when backpressure prevents
+        the send (mirroring Akita's non-blocking ``Send``).  Components
+        treat a ``False`` as "retry on a later tick".
+        """
+        if self._connection is None:
+            raise PortError(f"port {self.name} is not connected")
+        if not self._connection.can_send(self, msg):
+            return False
+        msg.src = self
+        self._connection.send(self, msg)
+        self.num_sent += 1
+        return True
+
+    # -- receiving ----------------------------------------------------------
+    def deliver(self, msg: Msg) -> None:
+        """Called by the connection when a message arrives."""
+        self.buf.push(msg)
+        self.num_delivered += 1
+        if self.component is not None:
+            self.component.notify_recv(self)
+
+    def peek_incoming(self) -> Optional[Msg]:
+        """Look at the oldest received message without consuming it."""
+        return self.buf.peek()
+
+    def retrieve_incoming(self) -> Optional[Msg]:
+        """Consume and return the oldest received message, or ``None``.
+
+        Consuming frees a buffer slot; the connection is notified so that
+        senders blocked on backpressure wake up and retry.
+        """
+        if self.buf.size == 0:
+            return None
+        msg = self.buf.pop()
+        if self._connection is not None:
+            self._connection.notify_available(self)
+        return msg
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.name}>"

@@ -1,0 +1,57 @@
+"""The event queue: a priority queue ordered by (time, secondary, id).
+
+Ordering rules
+--------------
+1. Earlier virtual time first.
+2. At equal time, primary events before secondary events.
+3. At equal time and class, lower event ID first (insertion order), which
+   makes runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from .event import Event
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Event]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert *event*."""
+        key = (event.time, 1 if event.secondary else 0, event.id, event)
+        heapq.heappush(self._heap, key)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest event without removing it, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0][3]
+
+    def next_time(self) -> Optional[float]:
+        """Virtual time of the earliest event, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def clear(self) -> None:
+        """Drop all pending events (used when aborting a simulation)."""
+        self._heap.clear()

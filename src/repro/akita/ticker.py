@@ -1,0 +1,37 @@
+"""Frequency and cycle-time arithmetic for ticking components."""
+
+from __future__ import annotations
+
+#: One gigahertz, the default component frequency.
+GHZ = 1e9
+MHZ = 1e6
+
+
+def period(freq: float) -> float:
+    """Cycle period in seconds for *freq* in Hz."""
+    return 1.0 / freq
+
+
+def next_tick(now: float, freq: float) -> float:
+    """The earliest cycle boundary strictly after *now*.
+
+    Components tick on a grid of ``k / freq`` instants.  The small bias
+    keeps floating-point noise from skipping or repeating a cycle: a
+    component asking at exactly a cycle boundary gets the *next* boundary.
+    """
+    cycle = int(now * freq + 1e-6) + 1
+    return cycle / freq
+
+
+def this_tick(now: float, freq: float) -> float:
+    """The cycle boundary at or immediately after *now*."""
+    cycle = int(now * freq + 1e-6)
+    t = cycle / freq
+    if t + 1e-15 < now:
+        t = (cycle + 1) / freq
+    return t
+
+
+def cycles_to_seconds(cycles: int, freq: float) -> float:
+    """Convert a cycle count to seconds at *freq*."""
+    return cycles / freq

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's most common flows so a user can try the monitor
+without writing code:
+
+* ``run``   — run one benchmark on a simulated GPU, optionally with the
+  AkitaRTM dashboard attached;
+* ``demo``  — start the paper's "problematic im2col" simulation and
+  keep the dashboard up for interactive exploration;
+* ``study`` — execute the scripted user study and print Figure 6;
+* ``workloads`` — list the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from typing import List, Optional
+
+from .core import Monitor
+from .gpu import GPUPlatform, GPUPlatformConfig
+from .studies import run_study
+from .studies.session import problem_platform_config, problem_workload
+from .workloads import SUITE, suite_small
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AkitaRTM reproduction: monitored GPU simulations")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("workload", choices=sorted(SUITE),
+                     help="benchmark to execute")
+    run.add_argument("--chiplets", type=int, default=2,
+                     help="number of GPU chiplets (default 2)")
+    run.add_argument("--full-scale", action="store_true",
+                     help="use the paper's R9-Nano chiplets (64 CUs "
+                          "each) instead of the scaled configuration")
+    run.add_argument("--monitor", action="store_true",
+                     help="attach AkitaRTM and print the dashboard URL")
+    run.add_argument("--port", type=int, default=0,
+                     help="dashboard port (default: ephemeral)")
+    run.add_argument("--buggy-l2", action="store_true",
+                     help="enable case study 2's write-buffer bug")
+    run.add_argument("--hang-wait", type=float, default=0.0,
+                     help="seconds to keep a hung simulation alive for "
+                          "debugging (default 0: exit on hang)")
+    run.add_argument("--progress-interval", type=float, default=1.0,
+                     help="seconds between progress lines (default 1)")
+
+    demo = sub.add_parser(
+        "demo", help="serve the problematic im2col simulation")
+    demo.add_argument("--port", type=int, default=0)
+    demo.add_argument("--duration", type=float, default=0.0,
+                      help="stop after N wall seconds (default: until "
+                           "the simulation finishes or Ctrl-C)")
+
+    study = sub.add_parser("study", help="run the scripted user study")
+    study.add_argument("--think-time", type=float, default=0.01,
+                       help="participant think time per action")
+    study.add_argument("--report", type=str, default="",
+                       help="write a markdown report to this path")
+
+    sub.add_parser("workloads", help="list available benchmarks")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.full_scale:
+        config = GPUPlatformConfig.r9_nano_mcm(
+            num_chiplets=args.chiplets,
+            l2_write_buffer_bug=args.buggy_l2)
+        workload = SUITE[args.workload]()
+    else:
+        config = GPUPlatformConfig.small(
+            num_chiplets=args.chiplets,
+            l2_write_buffer_bug=args.buggy_l2)
+        workload = suite_small()[args.workload]
+    platform = GPUPlatform(config)
+    run = workload.enqueue(platform.driver)
+
+    monitor: Optional[Monitor] = None
+    if args.monitor:
+        monitor = Monitor(platform.simulation)
+        monitor.attach_driver(platform.driver)
+        monitor.start_sampler()
+        print(f"AkitaRTM dashboard: "
+              f"{monitor.start_server(port=args.port)}")
+
+    result = {}
+    thread = threading.Thread(
+        target=lambda: result.setdefault(
+            "ok", platform.run(hang_wait=args.hang_wait)))
+    start = time.monotonic()
+    thread.start()
+    while thread.is_alive():
+        thread.join(timeout=args.progress_interval)
+        kernel = run.kernels[0]
+        state = platform.simulation.run_state
+        print(f"t={platform.simulation.now * 1e6:9.2f}us "
+              f"state={state:9s} "
+              f"wgs={kernel.completed}/{kernel.total}")
+        if state == "hung" and args.hang_wait == 0.0:
+            break
+    thread.join()
+    elapsed = time.monotonic() - start
+    ok = result.get("ok", False)
+    print(f"{'completed' if ok else platform.simulation.run_state} "
+          f"in {elapsed:.1f}s wall, "
+          f"{platform.simulation.now * 1e6:.2f}us simulated, "
+          f"{platform.engine.event_count:,} events")
+    if monitor is not None:
+        monitor.stop_server()
+    return 0 if ok else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    platform = GPUPlatform(problem_platform_config())
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    monitor.start_sampler()
+    problem_workload().enqueue(platform.driver)
+    url = monitor.start_server(port=args.port)
+    print(f"AkitaRTM dashboard: {url}")
+    print("Serving the congested im2col simulation of case study 1. "
+          "Open the URL and explore; Ctrl-C to stop.")
+    thread = threading.Thread(
+        target=lambda: platform.run(hang_wait=3600.0), daemon=True)
+    thread.start()
+    deadline = (time.monotonic() + args.duration) if args.duration \
+        else None
+    try:
+        while thread.is_alive():
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    platform.simulation.abort()
+    thread.join(timeout=30)
+    monitor.stop_server()
+    print("demo stopped")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    result = run_study(think_time=args.think_time)
+    print("successful participants:",
+          ", ".join(result.successful_participants))
+    print("most used feature:", result.most_used_feature)
+    print("least used feature:", result.least_used_feature)
+    print()
+    print(result.survey.format())
+    print()
+    print("matches paper Figure 6:", result.matches_paper_figure6())
+    if args.report:
+        import pathlib
+        pathlib.Path(args.report).write_text(result.format_report())
+        print(f"report written to {args.report}")
+    return 0 if result.matches_paper_figure6() else 1
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    for name, factory in sorted(SUITE.items()):
+        workload = factory()
+        kernel = workload.kernel()
+        print(f"{name:8s} {type(workload).__name__:8s} "
+              f"{kernel.num_workgroups:>5d} workgroups x "
+              f"{kernel.wavefronts_per_wg} wavefronts, "
+              f"{workload.input_bytes():>10,d} B in / "
+              f"{workload.output_bytes():>10,d} B out")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "demo": _cmd_demo,
+        "study": _cmd_study,
+        "workloads": _cmd_workloads,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""``repro.core`` — AkitaRTM: real-time monitoring for computer
+architecture simulations (the paper's primary contribution).
+
+Typical usage::
+
+    from repro.core import Monitor
+    from repro.gpu import GPUPlatform
+
+    platform = GPUPlatform()
+    monitor = Monitor(platform.simulation)   # registers engine+components
+    monitor.attach_driver(platform.driver)   # default progress bars
+    url = monitor.start_server()             # open in a browser
+    monitor.start_sampler()                  # feed time charts / hang det.
+    platform.run(hang_wait=3600)             # debuggable if it hangs
+
+The twelve-function plugin API lives on :class:`Monitor`; the HTTP API
+(`/api/...`) is served by :class:`RTMServer` and consumed by the
+dashboard under ``static/`` or programmatically via :class:`RTMClient`.
+"""
+
+from .alerts import AlertManager, AlertRule
+from .bottleneck import BufferAnalyzer, BufferRow
+from .client import RTMClient, RTMClientError
+from .export import RecordedSeries, SeriesRecorder, export_watches_csv
+from .hangdetect import HangDetector, HangStatus
+from .inspector import (
+    discover_buffers,
+    numeric_value,
+    resolve_path,
+    serialize_component,
+    serialize_value,
+    watchable_paths,
+)
+from .monitor import Monitor
+from .profiler import FunctionStats, ProfileReport, SamplingProfiler
+from .progress import ProgressBar
+from .resources import ResourceMonitor, ResourceSample
+from .server import RTMServer
+from .timeseries import HISTORY, MAX_WATCHES, ValueMonitor, ValueWatch
+
+__all__ = [
+    "AlertManager",
+    "AlertRule",
+    "BufferAnalyzer",
+    "BufferRow",
+    "FunctionStats",
+    "HangDetector",
+    "HangStatus",
+    "HISTORY",
+    "MAX_WATCHES",
+    "Monitor",
+    "ProfileReport",
+    "ProgressBar",
+    "RecordedSeries",
+    "SeriesRecorder",
+    "ResourceMonitor",
+    "ResourceSample",
+    "RTMClient",
+    "RTMClientError",
+    "RTMServer",
+    "SamplingProfiler",
+    "ValueMonitor",
+    "ValueWatch",
+    "discover_buffers",
+    "export_watches_csv",
+    "numeric_value",
+    "resolve_path",
+    "serialize_component",
+    "serialize_value",
+    "watchable_paths",
+]

@@ -1,0 +1,149 @@
+"""Alert rules: the "fail early, fail fast" automation.
+
+The paper's motivation is terminating problematic simulations early;
+its tool keeps the human in the loop.  Alert rules are the natural
+automation step the discussion points toward: the user encodes the
+condition they would have watched for ("this buffer pinned at capacity
+for a second", "simulation hung") and the monitor watches it for them —
+raising a flag on the dashboard, or aborting the run outright to free
+the machine.
+
+A rule fires when its *condition* holds continuously for *duration*
+wall seconds.  Conditions are evaluated by the monitor's sampler thread
+against the same resolved values the time charts plot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import operator
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .inspector import numeric_value, resolve_path
+
+_rule_ids = itertools.count(1)
+
+#: Comparison operators accepted over the HTTP API.
+OPERATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    ">": operator.gt,
+    "<": operator.lt,
+    "==": operator.eq,
+}
+
+#: What a fired rule does.
+ACTIONS = ("notify", "abort")
+
+
+@dataclass
+class AlertRule:
+    """One watched condition."""
+
+    component: Any
+    path: str
+    op: str
+    threshold: float
+    duration: float = 0.0
+    action: str = "notify"
+    label: str = ""
+    id: int = field(default_factory=lambda: next(_rule_ids))
+
+    # runtime state
+    _holding_since: Optional[float] = None
+    fired: bool = False
+    fired_at_sim_time: Optional[float] = None
+    last_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}; "
+                             f"use one of {sorted(OPERATORS)}")
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}")
+        if not self.label:
+            name = getattr(self.component, "name",
+                           type(self.component).__name__)
+            self.label = (f"{name}.{self.path} {self.op} "
+                          f"{self.threshold:g}")
+
+    def evaluate(self, now_wall: float, now_sim: float) -> bool:
+        """Update state; returns True when the rule (newly) fires."""
+        if self.fired:
+            return False
+        try:
+            raw = resolve_path(self.component, self.path)
+        except (AttributeError, KeyError, IndexError, TypeError):
+            self._holding_since = None
+            return False
+        value = numeric_value(raw)
+        self.last_value = value
+        if value is None or not OPERATORS[self.op](value, self.threshold):
+            self._holding_since = None
+            return False
+        if self._holding_since is None:
+            self._holding_since = now_wall
+        if now_wall - self._holding_since >= self.duration:
+            self.fired = True
+            self.fired_at_sim_time = now_sim
+            return True
+        return False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "label": self.label,
+            "path": self.path,
+            "op": self.op,
+            "threshold": self.threshold,
+            "duration": self.duration,
+            "action": self.action,
+            "fired": self.fired,
+            "fired_at_sim_time": self.fired_at_sim_time,
+            "last_value": self.last_value,
+        }
+
+
+class AlertManager:
+    """Evaluates rules and performs their actions."""
+
+    def __init__(self, abort: Optional[Callable[[], None]] = None):
+        """
+        Parameters
+        ----------
+        abort:
+            Callback that terminates the simulation (wired to
+            ``Simulation.abort`` by the monitor).  Rules with
+            ``action="abort"`` invoke it when they fire.
+        """
+        self._rules: Dict[int, AlertRule] = {}
+        self._abort = abort
+        self.fired_log: List[AlertRule] = []
+
+    def add(self, rule: AlertRule) -> AlertRule:
+        self._rules[rule.id] = rule
+        return rule
+
+    def remove(self, rule_id: int) -> bool:
+        return self._rules.pop(rule_id, None) is not None
+
+    @property
+    def rules(self) -> List[AlertRule]:
+        return list(self._rules.values())
+
+    def evaluate_all(self, now_sim: float) -> List[AlertRule]:
+        """One evaluation pass; returns the rules that newly fired."""
+        now_wall = time.monotonic()
+        fired = []
+        for rule in list(self._rules.values()):
+            if rule.evaluate(now_wall, now_sim):
+                fired.append(rule)
+                self.fired_log.append(rule)
+                if rule.action == "abort" and self._abort is not None:
+                    self._abort()
+        return fired
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [rule.to_dict() for rule in self.rules]

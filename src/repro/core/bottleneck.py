@@ -1,0 +1,93 @@
+"""The bottleneck analyzer (paper §IV-C, Figure 3 and Figure 4).
+
+Takes a snapshot of every buffer in the simulation and lists the most
+occupied ones.  A buffer that is *persistently* at the top of this list
+marks the component that drains it as a likely performance bottleneck;
+after a hang, any non-empty buffer marks a component that could not make
+progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..akita.buffer import Buffer
+from .inspector import discover_buffers
+
+SORT_KEYS = ("percent", "size")
+
+
+@dataclass
+class BufferRow:
+    """One row of the analyzer table."""
+
+    name: str
+    size: int
+    capacity: int
+
+    @property
+    def percent(self) -> float:
+        return self.size / self.capacity if self.capacity else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"buffer": self.name, "size": self.size,
+                "capacity": self.capacity,
+                "percent": round(self.percent, 4)}
+
+
+class BufferAnalyzer:
+    """Snapshots buffer levels across registered components."""
+
+    def __init__(self) -> None:
+        self._buffers: List[Buffer] = []
+        self._known: set = set()
+
+    def register_component(self, component: Any) -> int:
+        """Discover and track *component*'s buffers.  Returns how many
+        new buffers were found."""
+        added = 0
+        for buf in discover_buffers(component):
+            if id(buf) not in self._known:
+                self._known.add(id(buf))
+                self._buffers.append(buf)
+                added += 1
+        return added
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self._buffers)
+
+    def snapshot(self, sort: str = "percent",
+                 top: int = 0,
+                 include_empty: bool = False) -> List[BufferRow]:
+        """The Figure 3 table: most occupied buffers first.
+
+        Parameters
+        ----------
+        sort:
+            ``"percent"`` (fullness ratio) or ``"size"`` (element count),
+            the two sort modes of the paper's panel.
+        top:
+            Truncate to the first *top* rows (0 = all).
+        include_empty:
+            Keep empty buffers in the list (useful in tests; the panel
+            hides them).
+        """
+        if sort not in SORT_KEYS:
+            raise ValueError(f"sort must be one of {SORT_KEYS}")
+        rows = [BufferRow(b.name, b.size, b.capacity)
+                for b in self._buffers
+                if include_empty or b.size > 0]
+        key = (lambda r: (r.percent, r.size)) if sort == "percent" \
+            else (lambda r: (r.size, r.percent))
+        rows.sort(key=key, reverse=True)
+        if top:
+            rows = rows[:top]
+        return rows
+
+    def non_empty(self) -> List[BufferRow]:
+        """Buffers with content — the hang-analysis view of case
+        study 2 (after a deadlock every one of these marks a stuck
+        component)."""
+        return self.snapshot(sort="size")

@@ -1,0 +1,153 @@
+"""A Python client of the AkitaRTM HTTP API.
+
+Used by the test suite, the Figure 7 benchmark harness (scenario 4's
+"automated clicks at one-second intervals" are issued through this
+client), and the simulated user study, whose participant agents interact
+with the monitor exactly the way the web frontend does — over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+
+class RTMClientError(RuntimeError):
+    """An API call failed (HTTP error or server-reported error)."""
+
+
+class RTMClient:
+    """Thin wrapper over the REST endpoints."""
+
+    def __init__(self, url: str, timeout: float = 5.0):
+        self.base = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _call(self, method: str, endpoint: str,
+              params: Optional[Dict[str, Any]] = None) -> Any:
+        url = f"{self.base}{endpoint}"
+        if params:
+            url += "?" + urlencode(params)
+        request = Request(url, method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode()).get("error", "")
+            except Exception:
+                detail = ""
+            raise RTMClientError(
+                f"{method} {endpoint} -> {exc.code}: {detail}") from exc
+        except URLError as exc:
+            raise RTMClientError(f"{method} {endpoint}: {exc}") from exc
+
+    def _get(self, endpoint: str, **params) -> Any:
+        return self._call("GET", endpoint, params or None)
+
+    def _post(self, endpoint: str, **params) -> Any:
+        return self._call("POST", endpoint, params or None)
+
+    # -- monitoring views ---------------------------------------------------
+    def overview(self) -> Dict[str, Any]:
+        return self._get("/api/overview")
+
+    def resources(self) -> Dict[str, Any]:
+        return self._get("/api/resources")
+
+    def components(self) -> List[str]:
+        return self._get("/api/components")["names"]
+
+    def component_tree(self) -> Dict[str, Any]:
+        return self._get("/api/components")["tree"]
+
+    def component(self, name: str) -> Dict[str, Any]:
+        return self._get("/api/component", name=name)
+
+    def value(self, component: str, path: str) -> Optional[float]:
+        return self._get("/api/value", component=component,
+                         path=path)["value"]
+
+    def buffers(self, sort: str = "percent",
+                top: int = 50) -> List[Dict[str, Any]]:
+        return self._get("/api/buffers", sort=sort, top=top)["buffers"]
+
+    def progress(self) -> List[Dict[str, Any]]:
+        return self._get("/api/progress")["bars"]
+
+    def hang(self) -> Dict[str, Any]:
+        return self._get("/api/hang")
+
+    def profile(self, top: int = 15) -> Dict[str, Any]:
+        return self._get("/api/profile", top=top)
+
+    def watches(self) -> List[Dict[str, Any]]:
+        return self._get("/api/watches")["watches"]
+
+    def topology(self) -> Dict[str, Any]:
+        return self._get("/api/topology")
+
+    def throughput(self, component: str) -> List[Dict[str, Any]]:
+        return self._get("/api/throughput", component=component)["ports"]
+
+    def alerts(self) -> List[Dict[str, Any]]:
+        return self._get("/api/alerts")["alerts"]
+
+    def add_alert(self, component: str, path: str, op: str,
+                  threshold: float, duration: float = 0.0,
+                  action: str = "notify") -> int:
+        return self._post("/api/alert", component=component, path=path,
+                          op=op, threshold=threshold, duration=duration,
+                          action=action)["id"]
+
+    def remove_alert(self, rule_id: int) -> bool:
+        return self._call("DELETE", "/api/alert",
+                          {"id": rule_id})["removed"]
+
+    # -- controls -----------------------------------------------------------
+    def pause(self) -> None:
+        self._post("/api/pause")
+
+    def continue_(self) -> None:
+        self._post("/api/continue")
+
+    def kickstart(self) -> None:
+        self._post("/api/kickstart")
+
+    def throttle(self, events_per_second: float) -> None:
+        self._post("/api/throttle", events_per_second=events_per_second)
+
+    def tick(self, component: str) -> None:
+        self._post("/api/tick", component=component)
+
+    def profile_start(self) -> None:
+        self._post("/api/profile/start")
+
+    def profile_stop(self) -> None:
+        self._post("/api/profile/stop")
+
+    def watch(self, component: str, path: str) -> int:
+        return self._post("/api/watch", component=component,
+                          path=path)["id"]
+
+    def unwatch(self, watch_id: int) -> bool:
+        return self._call("DELETE", "/api/watch",
+                          {"id": watch_id})["removed"]
+
+    # -- conveniences ----------------------------------------------------------
+    def sample_value(self, component: str, path: str, duration: float,
+                     interval: float = 0.05) -> List[tuple]:
+        """Poll one value for *duration* wall seconds — the frontend's
+        time-chart behaviour, and how Figure 5's series were captured."""
+        points = []
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            data = self._get("/api/value", component=component, path=path)
+            points.append((data["time"], data["value"]))
+            time.sleep(interval)
+        return points

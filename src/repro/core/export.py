@@ -1,0 +1,148 @@
+"""Exporting monitored series for post-hoc analysis.
+
+§IV-C: once real-time monitoring narrows the problem, "users can then
+perform more targeted post-hoc analysis, essentially starting with a
+'smaller haystack'".  This module is that hand-off: it records selected
+values (through the same HTTP API the dashboard uses, or directly from
+a :class:`~repro.core.timeseries.ValueMonitor`) and writes them to CSV
+or JSON for offline tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .client import RTMClient
+from .timeseries import ValueMonitor
+
+
+@dataclass
+class RecordedSeries:
+    """One value's recorded (sim_time, value) samples."""
+
+    label: str
+    component: str
+    path: str
+    points: List[Tuple[float, Optional[float]]] = field(
+        default_factory=list)
+
+
+class SeriesRecorder:
+    """Polls a set of monitored values over HTTP and accumulates them.
+
+    Unlike the dashboard's 300-point ring, the recorder keeps
+    everything — it exists precisely to hand a complete window to
+    post-hoc tools.
+    """
+
+    def __init__(self, client: RTMClient,
+                 targets: Sequence[Tuple[str, str]],
+                 interval: float = 0.05):
+        """
+        Parameters
+        ----------
+        client:
+            Connected API client.
+        targets:
+            (component name, value path) pairs to record.
+        interval:
+            Wall-clock polling period in seconds.
+        """
+        self.client = client
+        self.interval = interval
+        self.series = [RecordedSeries(f"{component}.{path}", component,
+                                      path)
+                       for component, path in targets]
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Begin polling in a background thread."""
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="rtm-recorder")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def record_for(self, duration: float) -> None:
+        """Convenience: record for *duration* wall seconds, blocking."""
+        self.start()
+        time.sleep(duration)
+        self.stop()
+
+    def sample_once(self) -> None:
+        """Take one sample of every target (also usable standalone)."""
+        for series in self.series:
+            try:
+                data = self.client._get("/api/value",
+                                        component=series.component,
+                                        path=series.path)
+            except Exception:
+                continue
+            series.points.append((data["time"], data["value"]))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    # -- export ------------------------------------------------------------
+    def to_csv(self, path) -> Path:
+        """Write a wide CSV: one time column per series pair.
+
+        Series are polled together but may miss samples independently,
+        so each series contributes its own (time, value) column pair.
+        """
+        target = Path(path)
+        with target.open("w", newline="") as f:
+            writer = csv.writer(f)
+            header = []
+            for series in self.series:
+                header += [f"{series.label}.time", f"{series.label}.value"]
+            writer.writerow(header)
+            length = max((len(s.points) for s in self.series), default=0)
+            for i in range(length):
+                row = []
+                for series in self.series:
+                    if i < len(series.points):
+                        t, v = series.points[i]
+                        row += [t, v]
+                    else:
+                        row += ["", ""]
+                writer.writerow(row)
+        return target
+
+    def to_json(self, path) -> Path:
+        target = Path(path)
+        payload = [{
+            "label": s.label,
+            "component": s.component,
+            "path": s.path,
+            "points": [[t, v] for t, v in s.points],
+        } for s in self.series]
+        target.write_text(json.dumps(payload, indent=2))
+        return target
+
+
+def export_watches_csv(values: ValueMonitor, path) -> Path:
+    """Dump a ValueMonitor's current watch histories (the dashboard's
+    300-point rings) to CSV."""
+    target = Path(path)
+    with target.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["label", "time", "value"])
+        for watch in values.watches:
+            for t, v in watch.points:
+                writer.writerow([watch.label, t, v])
+    return target

@@ -1,0 +1,176 @@
+"""Simulator self-profiling (task **T4**, paper Figure 2 E).
+
+The Go original shells into ``pprof``; the equivalent here is a sampling
+profiler over ``sys._current_frames()``: a daemon thread samples the
+simulation thread's Python stack at a configurable interval and
+aggregates
+
+* **self time** — samples in which the function was the leaf frame,
+* **total time** — samples in which it appeared anywhere on the stack,
+* **call edges** — caller→callee pairs weighted by samples,
+
+which is exactly the data the paper's vertical arc diagram renders (two
+color-coded squares per function + arrows whose thickness is time).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def _frame_key(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    return f"{code.co_name} ({filename}:{code.co_firstlineno})"
+
+
+@dataclass
+class FunctionStats:
+    """Aggregated samples for one function."""
+
+    name: str
+    self_time: float = 0.0
+    total_time: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "self_time": round(self.self_time, 4),
+                "total_time": round(self.total_time, 4)}
+
+
+@dataclass
+class ProfileReport:
+    """One profiling window's result."""
+
+    duration: float
+    samples: int
+    functions: List[FunctionStats] = field(default_factory=list)
+    #: (caller name, callee name, seconds)
+    edges: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": round(self.duration, 3),
+            "samples": self.samples,
+            "functions": [f.to_dict() for f in self.functions],
+            "edges": [{"caller": c, "callee": e, "time": round(w, 4)}
+                      for c, e, w in self.edges],
+        }
+
+
+class SamplingProfiler:
+    """Interval-sampling profiler of one target thread."""
+
+    def __init__(self, interval: float = 0.005,
+                 target_thread_id: Optional[int] = None):
+        self.interval = interval
+        self.target_thread_id = target_thread_id
+        self._functions: Dict[str, FunctionStats] = {}
+        self._edges: Dict[Tuple[str, str], float] = {}
+        self._samples = 0
+        self._started_at = 0.0
+        self._stopped_at: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Begin sampling.  Idempotent."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self._stopped_at = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="rtm-profiler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling.  Idempotent; the report stays available."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if self._stopped_at is None:
+            self._stopped_at = time.monotonic()
+
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            for thread_id, frame in frames.items():
+                if thread_id == me:
+                    continue
+                if (self.target_thread_id is not None
+                        and thread_id != self.target_thread_id):
+                    continue
+                self._record(frame)
+            self._samples += 1
+
+    def _record(self, leaf_frame) -> None:
+        stack: List[str] = []
+        frame = leaf_frame
+        while frame is not None:
+            stack.append(_frame_key(frame))
+            frame = frame.f_back
+        # Drop the thread-bootstrap plumbing at the stack base: pprof
+        # likewise reports user frames, not runtime scaffolding.
+        while stack and "threading.py" in stack[-1]:
+            stack.pop()
+        if not stack:
+            return
+        with self._lock:
+            dt = self.interval
+            leaf = stack[0]
+            self._stats(leaf).self_time += dt
+            for name in set(stack):
+                self._stats(name).total_time += dt
+            for callee, caller in zip(stack, stack[1:]):
+                key = (caller, callee)
+                self._edges[key] = self._edges.get(key, 0.0) + dt
+
+    def _stats(self, name: str) -> FunctionStats:
+        stats = self._functions.get(name)
+        if stats is None:
+            stats = FunctionStats(name)
+            self._functions[name] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    def report(self, top: int = 15) -> ProfileReport:
+        """The top-*top* functions, plus the call edges connecting them
+        (the arc-diagram payload).
+
+        Ranking is by self time first (pprof's "flat" ordering — the
+        most frequent performance-debugging subtask is finding where
+        time is actually spent), with total time as the tiebreaker.
+        """
+        end = self._stopped_at if self._stopped_at is not None \
+            else time.monotonic()
+        duration = max(0.0, end - self._started_at) \
+            if self._started_at else 0.0
+        with self._lock:
+            ranked = sorted(self._functions.values(),
+                            key=lambda f: (f.self_time, f.total_time),
+                            reverse=True)[:top]
+            names = {f.name for f in ranked}
+            edges = sorted(
+                ((c, e, w) for (c, e), w in self._edges.items()
+                 if c in names and e in names),
+                key=lambda item: item[2], reverse=True)
+        return ProfileReport(duration, self._samples, ranked, edges)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._functions.clear()
+            self._edges.clear()
+            self._samples = 0

@@ -1,0 +1,85 @@
+"""Resource-utilization monitoring (task **T2**, paper Figure 2 A).
+
+Replaces the architects' `top` workflow: CPU utilization and resident
+memory of *this* simulation process, plus simulator-specific throughput
+(events per wall second) that generic tools cannot show.
+
+CPU% is computed from ``os.times`` deltas between samples — the same
+signal ``top`` derives from /proc — so a hang shows up exactly as the
+paper describes: "the CPU usage falls to a level significantly less
+than 100%".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+def _rss_bytes() -> int:
+    """Resident set size of this process.
+
+    Reads /proc on Linux; falls back to ``resource.getrusage`` (which
+    reports kilobytes on Linux) elsewhere.
+    """
+    try:
+        with open("/proc/self/statm") as f:
+            pages = int(f.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+@dataclass
+class ResourceSample:
+    """One reading of the process' resource usage."""
+
+    wall_time: float
+    cpu_percent: float
+    rss_bytes: int
+    events_per_second: float
+
+    def to_dict(self) -> dict:
+        return {
+            "cpu_percent": round(self.cpu_percent, 1),
+            "rss_bytes": self.rss_bytes,
+            "rss_mb": round(self.rss_bytes / (1024 * 1024), 1),
+            "events_per_second": round(self.events_per_second, 1),
+        }
+
+
+class ResourceMonitor:
+    """Delta-based sampler of CPU%, RSS and event throughput."""
+
+    def __init__(self, engine=None):
+        self._engine = engine
+        self._last_wall = time.monotonic()
+        self._last_cpu = self._cpu_seconds()
+        self._last_events = engine.event_count if engine else 0
+        self._last_sample: Optional[ResourceSample] = None
+
+    @staticmethod
+    def _cpu_seconds() -> float:
+        t = os.times()
+        return t.user + t.system
+
+    def sample(self) -> ResourceSample:
+        """Take a new sample; guarantees a non-zero measurement window
+        by reusing the previous sample for sub-millisecond re-polls."""
+        now = time.monotonic()
+        elapsed = now - self._last_wall
+        if elapsed < 1e-2 and self._last_sample is not None:
+            # Sub-10ms windows give meaningless CPU% deltas; reuse.
+            return self._last_sample
+        cpu = self._cpu_seconds()
+        events = self._engine.event_count if self._engine else 0
+        cpu_pct = 100.0 * (cpu - self._last_cpu) / elapsed \
+            if elapsed > 0 else 0.0
+        eps = (events - self._last_events) / elapsed if elapsed > 0 else 0.0
+        self._last_wall, self._last_cpu = now, cpu
+        self._last_events = events
+        self._last_sample = ResourceSample(now, cpu_pct, _rss_bytes(), eps)
+        return self._last_sample

@@ -1,0 +1,289 @@
+"""The AkitaRTM HTTP backend.
+
+Turns any monitored simulation into a web server (paper §IV-A): the
+frontend (static files under ``repro/core/static``) polls these JSON
+endpoints.  The same endpoints are the paper's "HTTP API" that lets
+simulators written in other languages plug in, and they are what the
+:mod:`repro.core.client` drives in tests, benchmarks and the simulated
+user study.
+
+Endpoints
+---------
+=======  ==============================  =====================================
+Method   Path                            Purpose
+=======  ==============================  =====================================
+GET      /                               dashboard (static files)
+GET      /api/overview                   sim time, run state, event counts
+GET      /api/resources                  CPU%, RSS, events/s (T2)
+GET      /api/components                 hierarchical component tree
+GET      /api/component?name=N           one component, serialized (T5)
+GET      /api/value?component=N&path=P   one monitored value (time charts)
+GET      /api/buffers?sort=S&top=K       bottleneck analyzer table (T5)
+GET      /api/progress                   progress bars (T1)
+GET      /api/hang                       hang heuristic verdict (T3)
+GET      /api/topology                   connection graph (§VIII ext.)
+GET      /api/throughput?component=N     per-port message counts (§VIII)
+GET      /api/alerts                     alert rules + firing state
+POST     /api/alert?component&path&...   add a fail-fast alert rule
+DELETE   /api/alert?id=I                 remove an alert rule
+GET      /api/profile?top=K              profiler report (T4)
+POST     /api/profile/start|stop         control the profiler
+POST     /api/pause | /api/continue      simulation control
+POST     /api/kickstart                  resume a dry run loop
+POST     /api/throttle?events_per_second slow down time (§V-C)
+POST     /api/tick?component=N           wake one component (Tick button)
+POST     /api/watch?component=N&path=P   add a time-chart watch
+GET      /api/watches                    all watches + their 300-pt series
+DELETE   /api/watch?id=I                 remove a watch
+=======  ==============================  =====================================
+
+Requests are served from dedicated threads; the monitor performs all
+work on demand, serializing one component or value per request (§VII's
+low-overhead design choices 1 and 2), in a thread parallel to the
+simulation thread (choice 3).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+STATIC_DIR = Path(__file__).parent / "static"
+
+_CONTENT_TYPES = {
+    ".html": "text/html; charset=utf-8",
+    ".js": "application/javascript; charset=utf-8",
+    ".css": "text/css; charset=utf-8",
+    ".svg": "image/svg+xml",
+    ".json": "application/json",
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the monitor.  One instance per request."""
+
+    server_version = "AkitaRTM/1.0"
+    monitor = None  # injected by RTMServer via subclassing
+
+    # -- helpers -----------------------------------------------------------
+    def log_message(self, fmt, *args):  # silence default stderr logging
+        pass
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int = 400) -> None:
+        self._send_json({"error": message}, status)
+
+    def _query(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urlparse(self.path)
+        params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
+        return parsed.path, params
+
+    # -- static files ------------------------------------------------------
+    def _serve_static(self, path: str) -> None:
+        if path in ("/", "/index.html"):
+            path = "/index.html"
+        rel = path.lstrip("/").replace("static/", "", 1)
+        target = (STATIC_DIR / rel).resolve()
+        if not str(target).startswith(str(STATIC_DIR.resolve())) \
+                or not target.is_file():
+            self._send_error_json("not found", 404)
+            return
+        body = target.read_bytes()
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         _CONTENT_TYPES.get(target.suffix,
+                                            "application/octet-stream"))
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET -----------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path, params = self._query()
+        monitor = self.monitor
+        try:
+            if path == "/api/overview":
+                self._send_json(monitor.overview())
+            elif path == "/api/resources":
+                self._send_json(monitor.resources.sample().to_dict())
+            elif path == "/api/components":
+                self._send_json({"tree": monitor.component_tree(),
+                                 "names": monitor.component_names()})
+            elif path == "/api/component":
+                name = params.get("name", "")
+                if not monitor.has_component(name):
+                    self._send_error_json(f"unknown component {name!r}",
+                                          404)
+                else:
+                    self._send_json(monitor.component_detail(name))
+            elif path == "/api/value":
+                self._get_value(params)
+            elif path == "/api/buffers":
+                sort = params.get("sort", "percent")
+                top = int(params.get("top", "50"))
+                rows = monitor.analyzer.snapshot(sort=sort, top=top)
+                self._send_json({"buffers": [r.to_dict() for r in rows]})
+            elif path == "/api/progress":
+                self._send_json({"bars": [b.to_dict()
+                                          for b in monitor.progress_bars()]})
+            elif path == "/api/hang":
+                self._send_json(monitor.hang_status().to_dict())
+            elif path == "/api/profile":
+                top = int(params.get("top", "15"))
+                report = monitor.profiler.report(top)
+                payload = report.to_dict()
+                payload["running"] = monitor.profiler.running
+                self._send_json(payload)
+            elif path == "/api/watches":
+                monitor.values.sample_all(monitor.now())
+                self._send_json({"watches": monitor.values.to_dict()})
+            elif path == "/api/topology":
+                self._send_json(monitor.topology())
+            elif path == "/api/alerts":
+                self._send_json({"alerts": monitor.alerts.to_dict()})
+            elif path == "/api/throughput":
+                name = params.get("component", "")
+                if not monitor.has_component(name):
+                    self._send_error_json(f"unknown component {name!r}",
+                                          404)
+                else:
+                    self._send_json(
+                        {"ports": monitor.port_throughput(name)})
+            else:
+                self._serve_static(path)
+        except Exception as exc:  # surface handler bugs to the client
+            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+
+    def _get_value(self, params: Dict[str, str]) -> None:
+        from .inspector import numeric_value, resolve_path
+        monitor = self.monitor
+        name = params.get("component", "")
+        path = params.get("path", "")
+        if not monitor.has_component(name):
+            self._send_error_json(f"unknown component {name!r}", 404)
+            return
+        try:
+            raw = resolve_path(monitor.component(name), path)
+        except (AttributeError, KeyError, IndexError, TypeError) as exc:
+            self._send_error_json(f"bad path {path!r}: {exc}", 400)
+            return
+        self._send_json({"component": name, "path": path,
+                         "time": monitor.now(),
+                         "value": numeric_value(raw)})
+
+    # -- POST ----------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802
+        path, params = self._query()
+        monitor = self.monitor
+        try:
+            if path == "/api/pause":
+                monitor.pause()
+                self._send_json({"paused": True})
+            elif path == "/api/continue":
+                monitor.continue_()
+                self._send_json({"paused": False})
+            elif path == "/api/kickstart":
+                monitor.kick_start()
+                self._send_json({"ok": True})
+            elif path == "/api/throttle":
+                eps = float(params.get("events_per_second", "0"))
+                monitor.set_throttle(eps)
+                self._send_json({"events_per_second": eps})
+            elif path == "/api/tick":
+                name = params.get("component", "")
+                ok = monitor.tick_component(name)
+                if ok:
+                    monitor.kick_start()
+                    self._send_json({"ticked": name})
+                else:
+                    self._send_error_json(
+                        f"{name!r} is not a ticking component", 400)
+            elif path == "/api/profile/start":
+                monitor.profiler.start()
+                self._send_json({"profiling": True})
+            elif path == "/api/profile/stop":
+                monitor.profiler.stop()
+                self._send_json({"profiling": False})
+            elif path == "/api/watch":
+                name = params.get("component", "")
+                value_path = params.get("path", "")
+                if not monitor.has_component(name):
+                    self._send_error_json(f"unknown component {name!r}",
+                                          404)
+                    return
+                watch = monitor.watch_value(name, value_path)
+                self._send_json({"id": watch.id, "label": watch.label})
+            elif path == "/api/alert":
+                name = params.get("component", "")
+                if not monitor.has_component(name):
+                    self._send_error_json(f"unknown component {name!r}",
+                                          404)
+                    return
+                try:
+                    rule = monitor.add_alert(
+                        name, params.get("path", ""),
+                        params.get("op", ">="),
+                        float(params.get("threshold", "0")),
+                        float(params.get("duration", "0")),
+                        params.get("action", "notify"))
+                except ValueError as exc:
+                    self._send_error_json(str(exc), 400)
+                    return
+                self._send_json({"id": rule.id, "label": rule.label})
+            else:
+                self._send_error_json("not found", 404)
+        except Exception as exc:
+            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+
+    # -- DELETE -------------------------------------------------------------
+    def do_DELETE(self) -> None:  # noqa: N802
+        path, params = self._query()
+        if path == "/api/watch":
+            watch_id = int(params.get("id", "0"))
+            removed = self.monitor.values.unwatch(watch_id)
+            self._send_json({"removed": removed})
+        elif path == "/api/alert":
+            rule_id = int(params.get("id", "0"))
+            removed = self.monitor.alerts.remove(rule_id)
+            self._send_json({"removed": removed})
+        else:
+            self._send_error_json("not found", 404)
+
+
+class RTMServer:
+    """Owns the ThreadingHTTPServer and its serving thread."""
+
+    def __init__(self, monitor, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"monitor": monitor})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+        self.host = host
+        self.port = self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        daemon=True, name="rtm-server")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

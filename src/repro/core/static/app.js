@@ -1,0 +1,374 @@
+/* AkitaRTM dashboard client.
+ *
+ * Plain fetch-polling against the JSON API, mirroring the paper's
+ * frontend behaviour:
+ *  - resources / controls / progress refresh continuously,
+ *  - the component tree is fetched once and rendered hierarchically,
+ *  - selecting a component serializes it on demand (one component per
+ *    request),
+ *  - flag icons next to numeric fields open time charts that keep the
+ *    most recent 300 points,
+ *  - the right panel toggles between the profiler's vertical arc
+ *    diagram and the bottleneck analyzer's buffer table.
+ */
+"use strict";
+
+const $ = (id) => document.getElementById(id);
+
+async function api(path, method = "GET") {
+  const res = await fetch(path, { method });
+  if (!res.ok) throw new Error(`${method} ${path}: ${res.status}`);
+  return res.json();
+}
+
+/* ------------------------------------------------------------------ *
+ * Controls + overview (Figure 2 C)
+ * ------------------------------------------------------------------ */
+function fmtTime(t) {
+  if (t >= 1e-3) return (t * 1e3).toFixed(3) + " ms";
+  if (t >= 1e-6) return (t * 1e6).toFixed(3) + " µs";
+  return (t * 1e9).toFixed(1) + " ns";
+}
+
+async function refreshOverview() {
+  try {
+    const o = await api("/api/overview");
+    $("sim-time").textContent = fmtTime(o.now);
+    $("run-state").textContent = o.paused ? "paused" : o.run_state;
+  } catch (e) { /* server going away is fine */ }
+}
+
+$("btn-pause").onclick = () => api("/api/pause", "POST").then(refreshOverview);
+$("btn-continue").onclick = () =>
+  api("/api/continue", "POST").then(refreshOverview);
+$("btn-kickstart").onclick = () => api("/api/kickstart", "POST");
+$("throttle").onchange = (e) =>
+  api(`/api/throttle?events_per_second=${e.target.value}`, "POST");
+
+/* ------------------------------------------------------------------ *
+ * Resources + hang state (Figure 2 A, tasks T2/T3)
+ * ------------------------------------------------------------------ */
+async function refreshResources() {
+  try {
+    const r = await api("/api/resources");
+    $("res-cpu").textContent = r.cpu_percent.toFixed(1) + " %";
+    $("res-mem").textContent = r.rss_mb.toFixed(1) + " MB";
+    $("res-eps").textContent = r.events_per_second.toLocaleString();
+    const h = await api("/api/hang");
+    const el = $("hang-state");
+    el.textContent = h.hung
+      ? `HUNG (${h.stalled_wall_seconds}s)` : "ok";
+    el.style.color = h.hung ? "var(--red)" : "var(--green)";
+  } catch (e) { /* ignore */ }
+}
+
+/* ------------------------------------------------------------------ *
+ * Alerts: fail-early/fail-fast rules and their firing state
+ * ------------------------------------------------------------------ */
+async function refreshAlerts() {
+  try {
+    const data = await api("/api/alerts");
+    const container = $("alerts");
+    if (!data.alerts.length) {
+      container.textContent = "no rules";
+      container.style.color = "var(--muted)";
+      return;
+    }
+    container.style.color = "";
+    container.replaceChildren(...data.alerts.map((a) => {
+      const div = document.createElement("div");
+      div.className = "kv";
+      const label = document.createElement("span");
+      label.textContent = a.label;
+      const state = document.createElement("b");
+      state.textContent = a.fired ? `FIRED (${a.action})` : "armed";
+      state.style.color = a.fired ? "var(--red)" : "var(--green)";
+      div.appendChild(label);
+      div.appendChild(state);
+      return div;
+    }));
+  } catch (e) { /* ignore */ }
+}
+
+/* ------------------------------------------------------------------ *
+ * Component tree (Figure 2 B/D)
+ * ------------------------------------------------------------------ */
+let selectedComponent = null;
+
+function renderTree(tree, prefix = "") {
+  const ul = document.createElement("ul");
+  for (const segment of Object.keys(tree).sort()) {
+    const li = document.createElement("li");
+    const full = prefix ? `${prefix}.${segment}` : segment;
+    const children = tree[segment];
+    const hasKids = Object.keys(children).length > 0;
+    if (hasKids) {
+      const caret = document.createElement("span");
+      caret.className = "caret";
+      caret.textContent = "▸";
+      li.appendChild(caret);
+      const sub = renderTree(children, full);
+      sub.classList.add("hidden");
+      caret.onclick = () => {
+        sub.classList.toggle("hidden");
+        caret.textContent = sub.classList.contains("hidden") ? "▸" : "▾";
+      };
+      const node = document.createElement("span");
+      node.className = "node";
+      node.textContent = segment;
+      node.onclick = () => selectComponent(full, node);
+      li.appendChild(node);
+      li.appendChild(sub);
+    } else {
+      const node = document.createElement("span");
+      node.className = "node";
+      node.textContent = segment;
+      node.onclick = () => selectComponent(full, node);
+      li.appendChild(node);
+    }
+    ul.appendChild(li);
+  }
+  return ul;
+}
+
+let knownNames = [];
+async function loadTree() {
+  const data = await api("/api/components");
+  knownNames = data.names;
+  $("tree").replaceChildren(renderTree(data.tree));
+}
+
+/* ------------------------------------------------------------------ *
+ * Component detail + value flags (Figure 2 D, tasks T4/T5)
+ * ------------------------------------------------------------------ */
+function renderValue(v) {
+  if (v === null || v === undefined) return "null";
+  if (typeof v !== "object") return String(v);
+  if (v.__kind__ === "buffer") return `buffer ${v.size}/${v.capacity}`;
+  if (v.__kind__ === "port") return `port ${v.name}`;
+  if (v.__kind__ === "dict") return `dict(${v.size})`;
+  if (v.__kind__ === "list") return `list(${v.size})`;
+  if (v.__kind__ === "object") return v.type;
+  return JSON.stringify(v);
+}
+
+async function selectComponent(name, node) {
+  if (!knownNames.includes(name)) return; // grouping node, not a component
+  document.querySelectorAll("#tree .node.selected")
+    .forEach((n) => n.classList.remove("selected"));
+  if (node) node.classList.add("selected");
+  selectedComponent = name;
+  const detail = await api(`/api/component?name=${encodeURIComponent(name)}`);
+  $("detail-title").textContent = `${detail.name} (${detail.type})`;
+  const tickBtn = $("btn-tick");
+  tickBtn.classList.toggle("hidden", !detail.ticking);
+  tickBtn.onclick = () =>
+    api(`/api/tick?component=${encodeURIComponent(name)}`, "POST");
+  const table = document.createElement("table");
+  for (const [field, value] of Object.entries(detail.fields)) {
+    const tr = document.createElement("tr");
+    const tdName = document.createElement("td");
+    tdName.textContent = field;
+    const tdVal = document.createElement("td");
+    tdVal.textContent = renderValue(value);
+    if (detail.watchable.includes(field)) {
+      const flag = document.createElement("span");
+      flag.className = "flag";
+      flag.title = "Monitor this value over time";
+      flag.textContent = "⚑";
+      flag.onclick = () => addWatch(name, field);
+      tdVal.appendChild(flag);
+    }
+    tr.appendChild(tdName);
+    tr.appendChild(tdVal);
+    table.appendChild(tr);
+  }
+  $("detail").replaceChildren(table);
+}
+
+/* ------------------------------------------------------------------ *
+ * Time charts (Figure 2 F) — 300 recent points per watch
+ * ------------------------------------------------------------------ */
+async function addWatch(component, path) {
+  await api(`/api/watch?component=${encodeURIComponent(component)}` +
+            `&path=${encodeURIComponent(path)}`, "POST");
+  refreshWatches();
+}
+
+function drawChart(watch) {
+  const W = 300, H = 80, PAD = 4;
+  const div = document.createElement("div");
+  div.className = "chart";
+  const label = document.createElement("div");
+  label.className = "label";
+  const pts = watch.points;
+  const last = pts.length ? pts[pts.length - 1][1] : "–";
+  label.innerHTML = `<span>${watch.label}</span><b>${last}</b>`;
+  const close = document.createElement("span");
+  close.className = "close";
+  close.textContent = "✕";
+  close.onclick = () =>
+    api(`/api/watch?id=${watch.id}`, "DELETE").then(refreshWatches);
+  label.appendChild(close);
+  div.appendChild(label);
+
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("width", W);
+  svg.setAttribute("height", H);
+  if (pts.length > 1) {
+    const ts = pts.map((p) => p[0]), vs = pts.map((p) => p[1]);
+    const t0 = Math.min(...ts), t1 = Math.max(...ts);
+    const v0 = Math.min(0, ...vs), v1 = Math.max(1, ...vs);
+    const x = (t) => PAD + (W - 2 * PAD) * (t1 > t0 ? (t - t0) / (t1 - t0) : 0);
+    const y = (v) => H - PAD - (H - 2 * PAD) * ((v - v0) / (v1 - v0));
+    const line = document.createElementNS(svg.namespaceURI, "polyline");
+    line.setAttribute("points",
+      pts.map((p) => `${x(p[0]).toFixed(1)},${y(p[1]).toFixed(1)}`).join(" "));
+    svg.appendChild(line);
+  }
+  div.appendChild(svg);
+  return div;
+}
+
+async function refreshWatches() {
+  try {
+    const data = await api("/api/watches");
+    $("charts").replaceChildren(...data.watches.map(drawChart));
+  } catch (e) { /* ignore */ }
+}
+
+/* ------------------------------------------------------------------ *
+ * Right panel: profiler arc diagram / buffer analyzer (Figure 2 E)
+ * ------------------------------------------------------------------ */
+let rightTab = "profile";
+let bufferSort = "percent";
+
+$("tab-profile").onclick = () => setTab("profile");
+$("tab-buffers").onclick = () => setTab("buffers");
+$("sort-size").onclick = () => setSort("size");
+$("sort-percent").onclick = () => setSort("percent");
+$("btn-prof-start").onclick = () => api("/api/profile/start", "POST");
+$("btn-prof-stop").onclick = () => api("/api/profile/stop", "POST");
+
+function setTab(tab) {
+  rightTab = tab;
+  $("tab-profile").classList.toggle("active", tab === "profile");
+  $("tab-buffers").classList.toggle("active", tab === "buffers");
+  $("profile-view").classList.toggle("hidden", tab !== "profile");
+  $("buffers-view").classList.toggle("hidden", tab !== "buffers");
+}
+
+function setSort(sort) {
+  bufferSort = sort;
+  $("sort-size").classList.toggle("active", sort === "size");
+  $("sort-percent").classList.toggle("active", sort === "percent");
+  refreshRightPanel();
+}
+
+function drawArcDiagram(report) {
+  const svg = $("arc-diagram");
+  const ns = svg.namespaceURI;
+  svg.replaceChildren();
+  const rows = report.functions;
+  if (!rows.length) return;
+  const rowH = 26, x0 = 46;
+  svg.setAttribute("height", Math.max(480, rows.length * rowH + 20));
+  const maxTotal = Math.max(...rows.map((f) => f.total_time), 1e-9);
+  const yOf = {};
+  rows.forEach((f, i) => {
+    const y = 16 + i * rowH;
+    yOf[f.name] = y;
+    // Two colour-coded squares: self time and total time.
+    for (const [j, value] of [[0, f.self_time], [1, f.total_time]]) {
+      const rect = document.createElementNS(ns, "rect");
+      rect.setAttribute("x", 4 + j * 16);
+      rect.setAttribute("y", y - 8);
+      rect.setAttribute("width", 12);
+      rect.setAttribute("height", 12);
+      const heat = Math.min(1, value / maxTotal);
+      rect.setAttribute("fill", `rgba(207,34,46,${0.15 + 0.85 * heat})`);
+      const title = document.createElementNS(ns, "title");
+      title.textContent = `${j ? "total" : "self"}: ${value.toFixed(3)}s`;
+      rect.appendChild(title);
+      svg.appendChild(rect);
+    }
+    const text = document.createElementNS(ns, "text");
+    text.setAttribute("x", x0);
+    text.setAttribute("y", y + 3);
+    text.textContent = f.name;
+    svg.appendChild(text);
+  });
+  // Arcs: caller -> callee, thickness = time.
+  const maxEdge = Math.max(...report.edges.map((e) => e.time), 1e-9);
+  for (const e of report.edges) {
+    const y1 = yOf[e.caller], y2 = yOf[e.callee];
+    if (y1 === undefined || y2 === undefined) continue;
+    const path = document.createElementNS(ns, "path");
+    const xr = 40, mid = (y1 + y2) / 2, r = Math.abs(y2 - y1) / 2;
+    path.setAttribute(
+      "d", `M ${xr} ${y1} A ${r} ${r} 0 0 ${y2 > y1 ? 1 : 0} ${xr} ${y2}`);
+    path.setAttribute("stroke-width",
+      (0.5 + 3.5 * e.time / maxEdge).toFixed(1));
+    svg.appendChild(path);
+  }
+}
+
+function renderBufferTable(buffers) {
+  const tbody = $("buffer-table").querySelector("tbody");
+  tbody.replaceChildren(...buffers.map((b) => {
+    const tr = document.createElement("tr");
+    if (b.percent >= 1) tr.className = "full";
+    for (const cell of [b.buffer, b.size, b.capacity]) {
+      const td = document.createElement("td");
+      td.textContent = cell;
+      tr.appendChild(td);
+    }
+    return tr;
+  }));
+}
+
+async function refreshRightPanel() {
+  try {
+    if (rightTab === "profile") {
+      drawArcDiagram(await api("/api/profile?top=15"));
+    } else {
+      const data = await api(`/api/buffers?sort=${bufferSort}&top=30`);
+      renderBufferTable(data.buffers);
+    }
+  } catch (e) { /* ignore */ }
+}
+
+/* ------------------------------------------------------------------ *
+ * Progress bars (Figure 2 G, task T1)
+ * ------------------------------------------------------------------ */
+async function refreshProgress() {
+  try {
+    const data = await api("/api/progress");
+    $("progress-bars").replaceChildren(...data.bars.map((b) => {
+      const row = document.createElement("div");
+      row.className = "pbar";
+      const total = Math.max(1, b.total);
+      row.innerHTML =
+        `<span class="name">${b.name}</span>` +
+        `<span class="track">` +
+        `<span class="done" style="width:${100 * b.completed / total}%"></span>` +
+        `<span class="ongoing" style="width:${100 * b.ongoing / total}%"></span>` +
+        `</span>` +
+        `<span class="counts">${b.completed} / ${b.ongoing} / ${b.not_started}</span>`;
+      return row;
+    }));
+  } catch (e) { /* ignore */ }
+}
+
+/* ------------------------------------------------------------------ *
+ * Polling loops
+ * ------------------------------------------------------------------ */
+loadTree();
+refreshOverview();
+refreshResources();
+setInterval(refreshOverview, 500);
+setInterval(refreshResources, 1000);
+setInterval(refreshProgress, 750);
+setInterval(refreshWatches, 500);
+setInterval(refreshRightPanel, 1500);
+setInterval(refreshAlerts, 2000);

@@ -1,0 +1,104 @@
+"""Simulation value monitoring over time (paper §IV-C, Figure 5).
+
+A :class:`ValueWatch` tracks one value of the hardware under simulation
+— a number, or a container whose size is plotted.  The paper keeps only
+the most recent 300 data points ("considering that the client's memory
+is usually limited"); we honour the same bound.
+
+Up to :data:`MAX_WATCHES` watches are active at once (the paper's view
+"plots up to five individual values over time").
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .inspector import numeric_value, resolve_path
+
+#: Most recent data points kept per watch (paper: 300).
+HISTORY = 300
+#: Concurrent watches (paper: up to five values plotted).
+MAX_WATCHES = 5
+
+_watch_ids = itertools.count(1)
+
+
+class ValueWatch:
+    """One monitored value and its recent history."""
+
+    def __init__(self, component: Any, path: str,
+                 label: Optional[str] = None):
+        self.id = next(_watch_ids)
+        self.component = component
+        self.path = path
+        comp_name = getattr(component, "name", type(component).__name__)
+        self.label = label or f"{comp_name}.{path}"
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=HISTORY)
+
+    def sample(self, now: float) -> Optional[float]:
+        """Record the current value at simulation time *now*."""
+        try:
+            raw = resolve_path(self.component, self.path)
+        except (AttributeError, KeyError, IndexError, TypeError):
+            return None
+        value = numeric_value(raw)
+        if value is None:
+            return None
+        self.points.append((now, value))
+        return value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "label": self.label,
+            "path": self.path,
+            "points": [[t, v] for t, v in self.points],
+        }
+
+
+class ValueMonitor:
+    """Manages the active watches; thread-safe."""
+
+    def __init__(self, max_watches: int = MAX_WATCHES):
+        self.max_watches = max_watches
+        self._watches: Dict[int, ValueWatch] = {}
+        self._lock = threading.Lock()
+
+    def watch(self, component: Any, path: str,
+              label: Optional[str] = None) -> ValueWatch:
+        """Start watching ``component.path``.
+
+        When the watch limit is reached the oldest watch is dropped,
+        mirroring the dashboard's five-plot carousel.
+        """
+        with self._lock:
+            while len(self._watches) >= self.max_watches:
+                oldest = min(self._watches)
+                del self._watches[oldest]
+            w = ValueWatch(component, path, label)
+            self._watches[w.id] = w
+            return w
+
+    def unwatch(self, watch_id: int) -> bool:
+        with self._lock:
+            return self._watches.pop(watch_id, None) is not None
+
+    def get(self, watch_id: int) -> Optional[ValueWatch]:
+        return self._watches.get(watch_id)
+
+    @property
+    def watches(self) -> List[ValueWatch]:
+        with self._lock:
+            return list(self._watches.values())
+
+    def sample_all(self, now: float) -> None:
+        """Take one sample of every active watch (called periodically by
+        the monitor's sampler thread or by a polling client)."""
+        for w in self.watches:
+            w.sample(now)
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        return [w.to_dict() for w in self.watches]

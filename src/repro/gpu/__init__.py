@@ -1,0 +1,80 @@
+"""``repro.gpu`` — an MGPUSim-style multi-chiplet GPU simulator.
+
+Built on :mod:`repro.akita`.  The public entry points are
+:class:`GPUPlatform` / :class:`GPUPlatformConfig` (assembly),
+:class:`Driver` (command queue), and :class:`KernelDescriptor`
+(trace-driven kernels supplied by :mod:`repro.workloads`).
+"""
+
+from .addressing import AddressMapper
+from .addr_translator import AddressTranslator
+from .cache.l1 import L1VCache
+from .cache.l2 import L2Cache
+from .cache.mshr import MSHR, MSHREntry
+from .cache.tags import SetAssocTags, Victim
+from .cache.writebuffer import WriteBuffer
+from .command_processor import CommandProcessor
+from .cu import ComputeUnit
+from .debug import TickRecord, TickStepper
+from .dispatcher import Dispatcher
+from .dram import DRAMController
+from .driver import Driver
+from .kernel import KernelDescriptor, KernelState, MemCopyState
+from .mem import (
+    CACHE_LINE_SIZE,
+    DataReadyRsp,
+    EvictionReq,
+    FetchedData,
+    MemReq,
+    MemRsp,
+    NetMsg,
+    ReadReq,
+    WriteDoneRsp,
+    WriteReq,
+    line_address,
+)
+from .network import ChipletSwitch
+from .platform import Chiplet, GPUPlatform, GPUPlatformConfig
+from .rdma import RDMAEngine
+from .rob import ReorderBuffer
+from .tlb import TLB
+
+__all__ = [
+    "AddressMapper",
+    "AddressTranslator",
+    "CACHE_LINE_SIZE",
+    "Chiplet",
+    "ChipletSwitch",
+    "CommandProcessor",
+    "ComputeUnit",
+    "DataReadyRsp",
+    "Dispatcher",
+    "DRAMController",
+    "Driver",
+    "EvictionReq",
+    "FetchedData",
+    "GPUPlatform",
+    "GPUPlatformConfig",
+    "KernelDescriptor",
+    "KernelState",
+    "L1VCache",
+    "L2Cache",
+    "MemCopyState",
+    "MemReq",
+    "MemRsp",
+    "MSHR",
+    "MSHREntry",
+    "NetMsg",
+    "RDMAEngine",
+    "ReadReq",
+    "ReorderBuffer",
+    "SetAssocTags",
+    "TickRecord",
+    "TickStepper",
+    "TLB",
+    "Victim",
+    "WriteBuffer",
+    "WriteDoneRsp",
+    "WriteReq",
+    "line_address",
+]

@@ -1,0 +1,10 @@
+"""Cache models: tags, MSHRs, L1, L2 and the L2 write buffer."""
+
+from .l1 import L1VCache
+from .l2 import L2Cache
+from .mshr import MSHR, MSHREntry
+from .tags import SetAssocTags, Victim
+from .writebuffer import WriteBuffer
+
+__all__ = ["L1VCache", "L2Cache", "MSHR", "MSHREntry", "SetAssocTags",
+           "Victim", "WriteBuffer"]

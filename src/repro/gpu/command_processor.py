@@ -1,0 +1,81 @@
+"""The per-GPU command processor.
+
+Relays commands between the host driver and the GPU-internal dispatcher.
+Kept as a distinct component (as in MGPUSim) so the monitored component
+tree shows the real control-plane topology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..akita.component import TickingComponent
+from ..akita.engine import Engine
+from ..akita.message import Msg
+from ..akita.port import Port
+from ..akita.ticker import GHZ
+from .protocol import KernelCompleteMsg, LaunchKernelMsg
+
+
+class CommandProcessor(TickingComponent):
+    """Front door of one GPU chiplet."""
+
+    def __init__(self, name: str, engine: Engine, freq: float = GHZ,
+                 driver_buf: int = 4, dispatcher_buf: int = 4):
+        super().__init__(name, engine, freq)
+        self.driver_port = self.add_port("ToDriver", driver_buf)
+        self.dispatcher_port = self.add_port("ToDispatcher", dispatcher_buf)
+        self._dispatcher_in: Optional[Port] = None
+        self._to_dispatcher: Deque[Msg] = deque()
+        self._to_driver: Deque[Msg] = deque()
+        self._reply_port: Optional[Port] = None
+        self.num_kernels_launched = 0
+
+    def connect(self, dispatcher_in: Port) -> None:
+        self._dispatcher_in = dispatcher_in
+
+    def tick(self) -> bool:
+        progress = False
+        progress |= self._drain(self._to_dispatcher, self.dispatcher_port)
+        progress |= self._drain(self._to_driver, self.driver_port)
+        progress |= self._intake_driver()
+        progress |= self._intake_dispatcher()
+        return progress
+
+    def _intake_driver(self) -> bool:
+        progress = False
+        while True:
+            msg = self.driver_port.peek_incoming()
+            if not isinstance(msg, LaunchKernelMsg):
+                break
+            self.driver_port.retrieve_incoming()
+            assert self._dispatcher_in is not None
+            fwd = LaunchKernelMsg(self._dispatcher_in, msg.kernel,
+                                  msg.wg_ids)
+            self._reply_port = msg.src
+            self._to_dispatcher.append(fwd)
+            self.num_kernels_launched += 1
+            progress = True
+        return progress
+
+    def _intake_dispatcher(self) -> bool:
+        progress = False
+        while True:
+            msg = self.dispatcher_port.peek_incoming()
+            if not isinstance(msg, KernelCompleteMsg):
+                break
+            self.dispatcher_port.retrieve_incoming()
+            fwd = KernelCompleteMsg(self._reply_port, msg.launch_id)
+            self._to_driver.append(fwd)
+            progress = True
+        return progress
+
+    def _drain(self, queue: Deque[Msg], port: Port) -> bool:
+        progress = False
+        while queue:
+            if not port.send(queue[0]):
+                break
+            queue.popleft()
+            progress = True
+        return progress

@@ -1,0 +1,58 @@
+"""Control-plane messages: driver ↔ command processor ↔ dispatcher ↔ CU."""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from ..akita.message import Msg
+from .kernel import KernelState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..akita.port import Port
+
+
+class LaunchKernelMsg(Msg):
+    """Launch the given workgroups of a kernel on one GPU."""
+
+    __slots__ = ("kernel", "wg_ids")
+
+    def __init__(self, dst: "Port", kernel: KernelState, wg_ids: List[int]):
+        super().__init__(dst, size_bytes=64)
+        self.kernel = kernel
+        self.wg_ids = wg_ids
+
+
+class MapWGMsg(Msg):
+    """Dispatcher → CU: execute one workgroup."""
+
+    __slots__ = ("kernel", "wg_id", "launch_id")
+
+    def __init__(self, dst: "Port", kernel: KernelState, wg_id: int,
+                 launch_id: int):
+        super().__init__(dst, size_bytes=32)
+        self.kernel = kernel
+        self.wg_id = wg_id
+        self.launch_id = launch_id
+
+
+class WGCompleteMsg(Msg):
+    """CU → dispatcher: a workgroup finished."""
+
+    __slots__ = ("kernel", "wg_id", "launch_id")
+
+    def __init__(self, dst: "Port", kernel: KernelState, wg_id: int,
+                 launch_id: int):
+        super().__init__(dst, size_bytes=16)
+        self.kernel = kernel
+        self.wg_id = wg_id
+        self.launch_id = launch_id
+
+
+class KernelCompleteMsg(Msg):
+    """Dispatcher → CP → driver: all workgroups of a launch finished."""
+
+    __slots__ = ("launch_id",)
+
+    def __init__(self, dst: "Port", launch_id: int):
+        super().__init__(dst, size_bytes=16)
+        self.launch_id = launch_id

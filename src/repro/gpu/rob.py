@@ -1,0 +1,141 @@
+"""The L1 vector reorder buffer (L1VROB).
+
+Sits between a compute unit and the address translator.  Responses from
+the memory system may return out of order (cache hits overtake misses);
+the ROB retires them back to the CU in issue order.
+
+Observables that matter to the paper:
+
+* ``TopPort.Buf`` — capacity 8 by default; the buffer that shows up
+  pinned at 8/8 in Figure 3 and Figure 5(c) when the downstream memory
+  system cannot keep up.
+* ``transactions`` — the in-flight entries inside the ROB itself, the
+  value that fluctuates between ~70 and ~130 in Figure 5(d) (capacity
+  128 by default, not the limiting resource).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..akita.component import TickingComponent
+from ..akita.engine import Engine
+from ..akita.port import Port
+from ..akita.ticker import GHZ
+from .mem import DataReadyRsp, MemReq, MemRsp, ReadReq, WriteDoneRsp, WriteReq
+
+
+class _ROBEntry:
+    """One in-flight request: original message, forwarded copy, and the
+    response once it arrived."""
+
+    __slots__ = ("original", "forwarded", "done")
+
+    def __init__(self, original: MemReq):
+        self.original = original
+        self.forwarded: Optional[MemReq] = None
+        self.done = False
+
+
+class ReorderBuffer(TickingComponent):
+    """In-order retirement buffer in front of the L1 pipeline."""
+
+    def __init__(self, name: str, engine: Engine, freq: float = GHZ,
+                 capacity: int = 128, top_buf: int = 8, bottom_buf: int = 4,
+                 width: int = 4):
+        super().__init__(name, engine, freq)
+        self.capacity = capacity
+        self.width = width
+        self.top_port = self.add_port("TopPort", top_buf)
+        self.bottom_port = self.add_port("BottomPort", bottom_buf)
+        self.down_port: Optional[Port] = None  # address translator's top
+        self.transactions: List[_ROBEntry] = []
+        self._by_forwarded_id: Dict[int, _ROBEntry] = {}
+        self.num_retired = 0
+
+    def connect_down(self, down_port: Port) -> None:
+        """Point the ROB at the component that drains it."""
+        self.down_port = down_port
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of in-flight transactions (monitored value)."""
+        return len(self.transactions)
+
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        progress = False
+        progress |= self._retire()
+        progress |= self._process_responses()
+        progress |= self._accept_and_forward()
+        return progress
+
+    def _accept_and_forward(self) -> bool:
+        """Consume a top-buffer request only when it can be forwarded
+        downstream in the same cycle (as MGPUSim's ROB does).
+
+        This admission gating is what makes ``TopPort.Buf`` pin at 8/8
+        when the memory system below is the bottleneck (Figure 5(c)),
+        while the ROB's own transaction count stays below capacity.
+        """
+        assert self.down_port is not None, f"{self.name} not wired"
+        progress = False
+        for _ in range(self.width):
+            if len(self.transactions) >= self.capacity:
+                break
+            msg = self.top_port.peek_incoming()
+            if not isinstance(msg, MemReq):
+                break
+            if isinstance(msg, ReadReq):
+                fwd: MemReq = ReadReq(self.down_port, msg.address,
+                                      msg.access_bytes, msg.pid)
+            else:
+                fwd = WriteReq(self.down_port, msg.address,
+                               msg.access_bytes, msg.pid)
+            if not self.bottom_port.send(fwd):
+                break  # downstream full: requests pile up in TopPort.Buf
+            self.top_port.retrieve_incoming()
+            entry = _ROBEntry(msg)
+            entry.forwarded = fwd
+            self.transactions.append(entry)
+            self._by_forwarded_id[fwd.id] = entry
+            progress = True
+        return progress
+
+    def _process_responses(self) -> bool:
+        progress = False
+        for _ in range(self.width):
+            msg = self.bottom_port.peek_incoming()
+            if not isinstance(msg, MemRsp):
+                break
+            entry = self._by_forwarded_id.get(msg.respond_to)
+            if entry is None:  # response to a dropped transaction: discard
+                self.bottom_port.retrieve_incoming()
+                continue
+            self.bottom_port.retrieve_incoming()
+            del self._by_forwarded_id[msg.respond_to]
+            entry.done = True
+            progress = True
+        return progress
+
+    def _retire(self) -> bool:
+        """Answer the CU for completed head-of-queue transactions."""
+        progress = False
+        for _ in range(self.width):
+            if not self.transactions or not self.transactions[0].done:
+                break
+            entry = self.transactions[0]
+            req = entry.original
+            assert req.src is not None
+            if isinstance(req, ReadReq):
+                rsp: MemRsp = DataReadyRsp(req.src, req.id,
+                                           req.access_bytes)
+            else:
+                rsp = WriteDoneRsp(req.src, req.id)
+            if not self.top_port.send(rsp):
+                break
+            self.transactions.pop(0)
+            self.num_retired += 1
+            progress = True
+        return progress

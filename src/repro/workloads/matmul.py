@@ -1,0 +1,76 @@
+"""Matrix multiplication (AMD APP SDK suite), tiled.
+
+Access pattern: each workgroup computes one output tile.  A-tiles are
+read row-wise (sequential lines, good locality); B-tiles column-wise
+(stride = full row width — the classic cache-hostile stride); C written
+once per tile.  Compute between loads models the MAC work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelDescriptor
+from ..gpu.mem import CACHE_LINE_SIZE
+from .base import WORD, Workload
+
+
+@dataclass
+class MatMul(Workload):
+    """C[n×n] = A[n×n] @ B[n×n] with ``tile``-sized workgroup tiles."""
+
+    n: int = 256
+    tile: int = 16
+    wavefronts_per_wg: int = 4
+
+    name = "matmul"
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.tile <= 0 or self.n % self.tile:
+            raise ValueError("matrix size must be a multiple of the tile")
+
+    @property
+    def tiles_per_dim(self) -> int:
+        return self.n // self.tile
+
+    @property
+    def num_workgroups(self) -> int:
+        return self.tiles_per_dim * self.tiles_per_dim
+
+    def kernel(self) -> KernelDescriptor:
+        n, tile, wfs = self.n, self.tile, self.wavefronts_per_wg
+        tiles = self.tiles_per_dim
+        a_base = 0
+        b_base = n * n * WORD
+        c_base = 2 * n * n * WORD
+
+        def program(wg: int, wf: int):
+            ti, tj = wg // tiles, wg % tiles
+            rows = range(wf, tile, wfs)  # wavefront owns tile rows
+            for r in rows:
+                row = ti * tile + r
+                for kt in range(tiles):
+                    # A: one sequential line-sized chunk of the row.
+                    yield ("load",
+                           a_base + (row * n + kt * tile) * WORD,
+                           tile * WORD)
+                    # B: strided column reads — one access per element
+                    # row of the B tile (stride n words).
+                    for kk in range(0, tile,
+                                    max(1, CACHE_LINE_SIZE // WORD // 4)):
+                        yield ("load",
+                               b_base + ((kt * tile + kk) * n
+                                         + tj * tile) * WORD,
+                               tile * WORD)
+                    yield ("compute", tile // 2)
+                yield ("store", c_base + (row * n + tj * tile) * WORD,
+                       tile * WORD)
+
+        return KernelDescriptor(self.name, self.num_workgroups,
+                                self.wavefronts_per_wg, program)
+
+    def input_bytes(self) -> int:
+        return 2 * self.n * self.n * WORD
+
+    def output_bytes(self) -> int:
+        return self.n * self.n * WORD

@@ -1,0 +1,96 @@
+"""Tests for the bounded buffer, including hypothesis invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.akita import Buffer, BufferError_, ConfigurationError
+
+
+def test_requires_positive_capacity():
+    with pytest.raises(ConfigurationError):
+        Buffer("b", 0)
+    with pytest.raises(ConfigurationError):
+        Buffer("b", -3)
+
+
+def test_push_pop_fifo():
+    buf = Buffer("b", 3)
+    buf.push(1)
+    buf.push(2)
+    buf.push(3)
+    assert [buf.pop(), buf.pop(), buf.pop()] == [1, 2, 3]
+
+
+def test_push_full_raises():
+    buf = Buffer("b", 1)
+    buf.push("x")
+    assert not buf.can_push()
+    with pytest.raises(BufferError_):
+        buf.push("y")
+
+
+def test_pop_empty_raises():
+    buf = Buffer("b", 1)
+    with pytest.raises(BufferError_):
+        buf.pop()
+
+
+def test_peek_returns_oldest_without_removal():
+    buf = Buffer("b", 2)
+    assert buf.peek() is None
+    buf.push("a")
+    buf.push("b")
+    assert buf.peek() == "a"
+    assert buf.size == 2
+
+
+def test_fullness_and_free_slots():
+    buf = Buffer("b", 4)
+    assert buf.fullness == 0.0
+    assert buf.free_slots == 4
+    buf.push(1)
+    buf.push(2)
+    assert buf.fullness == 0.5
+    assert buf.free_slots == 2
+
+
+def test_remove_specific_item():
+    buf = Buffer("b", 4)
+    buf.push("a")
+    buf.push("b")
+    buf.push("c")
+    buf.remove("b")
+    assert list(buf) == ["a", "c"]
+
+
+def test_clear():
+    buf = Buffer("b", 2)
+    buf.push(1)
+    buf.clear()
+    assert buf.size == 0
+
+
+def test_name_propagates():
+    buf = Buffer("GPU[0].SA[1].Port.Buf", 8)
+    assert buf.name == "GPU[0].SA[1].Port.Buf"
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), max_size=300),
+       st.integers(min_value=1, max_value=16))
+def test_buffer_invariants_under_random_ops(ops, capacity):
+    """0 <= size <= capacity always; FIFO order is preserved."""
+    buf = Buffer("b", capacity)
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "push" and buf.can_push():
+            buf.push(counter)
+            model.append(counter)
+            counter += 1
+        elif op == "pop" and buf.size > 0:
+            assert buf.pop() == model.pop(0)
+        assert 0 <= buf.size <= capacity
+        assert buf.size == len(model)
+        assert buf.free_slots == capacity - len(model)
+        assert (buf.fullness == 1.0) == (not buf.can_push())
+    assert list(buf) == model

@@ -1,0 +1,178 @@
+"""Tests for the serial engine: ordering, pause/continue, hooks, states."""
+
+import threading
+import time
+
+import pytest
+
+from repro.akita import (
+    CallbackEvent,
+    Engine,
+    Event,
+    HookPos,
+    RunState,
+    SchedulingError,
+)
+
+
+class _Recorder:
+    def __init__(self):
+        self.times = []
+
+    def handle(self, event):
+        self.times.append(event.time)
+
+
+def test_engine_starts_idle_at_time_zero():
+    engine = Engine()
+    assert engine.now == 0.0
+    assert engine.run_state == RunState.IDLE
+    assert engine.event_count == 0
+
+
+def test_run_processes_events_in_time_order():
+    engine = Engine()
+    rec = _Recorder()
+    for t in [3.0, 1.0, 2.0]:
+        engine.schedule(Event(t, rec))
+    engine.run()
+    assert rec.times == [1.0, 2.0, 3.0]
+    assert engine.now == 3.0
+    assert engine.event_count == 3
+    assert engine.run_state == RunState.DRY
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    rec = _Recorder()
+    engine.schedule(Event(5.0, rec))
+    engine.run()
+    with pytest.raises(SchedulingError):
+        engine.schedule(Event(1.0, rec))
+
+
+def test_schedule_at_now_is_allowed():
+    engine = Engine()
+    rec = _Recorder()
+
+    def reschedule(event):
+        if len(rec.times) < 1:
+            rec.times.append(event.time)
+            engine.schedule(Event(engine.now, rec))
+
+    engine.schedule(CallbackEvent(1.0, reschedule))
+    engine.run()
+    assert rec.times == [1.0, 1.0]
+
+
+def test_handler_can_schedule_future_events():
+    engine = Engine()
+    seen = []
+
+    def cb(event):
+        seen.append(event.time)
+        if event.time < 3.0:
+            engine.schedule(CallbackEvent(event.time + 1.0, cb))
+
+    engine.schedule(CallbackEvent(1.0, cb))
+    engine.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_run_can_be_called_again_after_dry():
+    """The 'kick start' path: schedule after dry, run again."""
+    engine = Engine()
+    rec = _Recorder()
+    engine.schedule(Event(1.0, rec))
+    engine.run()
+    engine.schedule(Event(2.0, rec))
+    engine.run()
+    assert rec.times == [1.0, 2.0]
+
+
+def test_terminate_prevents_further_processing():
+    engine = Engine()
+    rec = _Recorder()
+
+    def stop(event):
+        rec.times.append(event.time)
+        engine.terminate()
+
+    engine.schedule(CallbackEvent(1.0, stop))
+    engine.schedule(Event(2.0, rec))
+    engine.run()
+    assert rec.times == [1.0]
+    assert engine.run_state == RunState.ENDED
+
+
+def test_pause_blocks_simulation_thread_and_continue_releases():
+    engine = Engine()
+    rec = _Recorder()
+    n_events = 2000
+    for i in range(n_events):
+        engine.schedule(Event(float(i + 1), rec))
+
+    started = threading.Event()
+
+    def run_sim():
+        started.set()
+        engine.run()
+
+    t = threading.Thread(target=run_sim)
+    engine.pause()  # pause before starting: engine parks immediately
+    t.start()
+    started.wait()
+    time.sleep(0.05)
+    assert engine.run_state in (RunState.PAUSED, RunState.RUNNING)
+    count_at_pause = engine.event_count
+    time.sleep(0.05)
+    assert engine.event_count == count_at_pause  # frozen while paused
+    engine.continue_()
+    t.join(timeout=10)
+    assert not t.is_alive()
+    assert engine.event_count == n_events
+
+
+def test_pause_hook_and_event_hooks_fire():
+    engine = Engine()
+    rec = _Recorder()
+    positions = []
+    engine.accept_hook(lambda ctx: positions.append(ctx.pos))
+    engine.schedule(Event(1.0, rec))
+    engine.run()
+    assert positions[0] == HookPos.ENGINE_START
+    assert HookPos.BEFORE_EVENT in positions
+    assert HookPos.AFTER_EVENT in positions
+    assert positions[-1] == HookPos.ENGINE_DRY
+
+
+def test_remove_hook():
+    engine = Engine()
+    rec = _Recorder()
+    calls = []
+    hook = lambda ctx: calls.append(ctx.pos)  # noqa: E731
+    engine.accept_hook(hook)
+    engine.remove_hook(hook)
+    engine.remove_hook(hook)  # removing twice is a no-op
+    engine.schedule(Event(1.0, rec))
+    engine.run()
+    assert calls == []
+
+
+def test_run_until_stops_at_time():
+    engine = Engine()
+    rec = _Recorder()
+    for t in [1.0, 2.0, 3.0]:
+        engine.schedule(Event(t, rec))
+    engine.run_until(2.0)
+    assert rec.times == [1.0, 2.0]
+    assert engine.pending_event_count == 1
+
+
+def test_pending_event_count():
+    engine = Engine()
+    rec = _Recorder()
+    assert engine.pending_event_count == 0
+    engine.schedule(Event(1.0, rec))
+    engine.schedule(Event(2.0, rec))
+    assert engine.pending_event_count == 2

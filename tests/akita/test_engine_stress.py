@@ -1,0 +1,91 @@
+"""Concurrency stress for the engine's external control surface."""
+
+import threading
+import time
+
+import pytest
+
+from repro.akita import CallbackEvent, Engine, RunState
+
+
+def _self_rescheduling_chain(engine, count):
+    done = {"n": 0}
+
+    def cb(event):
+        done["n"] += 1
+        if done["n"] < count:
+            engine.schedule(CallbackEvent(event.time + 1.0, cb))
+
+    engine.schedule(CallbackEvent(1.0, cb))
+    return done
+
+
+def test_repeated_pause_continue_under_load():
+    engine = Engine()
+    done = _self_rescheduling_chain(engine, 50_000)
+    thread = threading.Thread(target=engine.run)
+    thread.start()
+    for _ in range(50):
+        engine.pause()
+        engine.continue_()
+    thread.join(timeout=60)
+    assert not thread.is_alive()
+    assert done["n"] == 50_000
+
+
+def test_concurrent_scheduling_from_other_threads():
+    engine = Engine()
+    hits = []
+
+    def cb(event):
+        hits.append(event.time)
+
+    # Pause so externally scheduled events pile up safely, then run.
+    engine.pause()
+    thread = threading.Thread(target=engine.run)
+    thread.start()
+
+    def scheduler(base):
+        for i in range(200):
+            engine.schedule(CallbackEvent(base + i, cb))
+
+    workers = [threading.Thread(target=scheduler, args=(k * 1000.0 + 1,))
+               for k in range(4)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    engine.continue_()
+    thread.join(timeout=60)
+    assert len(hits) == 800
+    assert hits == sorted(hits)  # causal order preserved
+
+
+def test_terminate_while_paused_releases_thread():
+    engine = Engine()
+    _self_rescheduling_chain(engine, 1_000_000)
+    engine.pause()
+    thread = threading.Thread(target=engine.run)
+    thread.start()
+    time.sleep(0.05)
+    engine.terminate()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert engine.run_state == RunState.ENDED
+
+
+def test_pause_latency_is_bounded_under_load():
+    """Pausing takes effect within a handful of events, not seconds."""
+    engine = Engine()
+    done = _self_rescheduling_chain(engine, 2_000_000)
+    thread = threading.Thread(target=engine.run)
+    thread.start()
+    time.sleep(0.05)
+    engine.pause()
+    time.sleep(0.01)
+    count_a = engine.event_count
+    time.sleep(0.1)
+    count_b = engine.event_count
+    assert count_b == count_a  # fully parked
+    engine.terminate()
+    thread.join(timeout=10)

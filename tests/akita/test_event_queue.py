@@ -1,0 +1,113 @@
+"""Tests for events and the event queue ordering rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.akita import Event, EventQueue, TickEvent
+
+
+class _Recorder:
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, event):
+        self.seen.append(event)
+
+
+def test_event_ids_are_monotonic():
+    h = _Recorder()
+    a = Event(1.0, h)
+    b = Event(1.0, h)
+    assert b.id > a.id
+
+
+def test_tick_event_is_secondary():
+    h = _Recorder()
+    assert TickEvent(1.0, h).secondary is True
+    assert Event(1.0, h).secondary is False
+
+
+def test_queue_orders_by_time():
+    h = _Recorder()
+    q = EventQueue()
+    late = Event(2.0, h)
+    early = Event(1.0, h)
+    q.push(late)
+    q.push(early)
+    assert q.pop() is early
+    assert q.pop() is late
+
+
+def test_primary_before_secondary_at_same_time():
+    h = _Recorder()
+    q = EventQueue()
+    secondary = TickEvent(1.0, h)
+    primary = Event(1.0, h)
+    q.push(secondary)
+    q.push(primary)
+    assert q.pop() is primary
+    assert q.pop() is secondary
+
+
+def test_insertion_order_breaks_ties():
+    h = _Recorder()
+    q = EventQueue()
+    first = Event(1.0, h)
+    second = Event(1.0, h)
+    q.push(first)
+    q.push(second)
+    assert q.pop() is first
+    assert q.pop() is second
+
+
+def test_peek_and_next_time():
+    h = _Recorder()
+    q = EventQueue()
+    assert q.peek() is None
+    assert q.next_time() is None
+    e = Event(3.5, h)
+    q.push(e)
+    assert q.peek() is e
+    assert q.next_time() == 3.5
+    assert len(q) == 1
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_clear():
+    h = _Recorder()
+    q = EventQueue()
+    q.push(Event(1.0, h))
+    q.clear()
+    assert len(q) == 0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200))
+def test_queue_pops_in_nondecreasing_time_order(times):
+    h = _Recorder()
+    q = EventQueue()
+    for t in times:
+        q.push(Event(t, h))
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(popped)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=100))
+def test_queue_total_order_is_time_then_class_then_id(specs):
+    h = _Recorder()
+    q = EventQueue()
+    events = [Event(t, h, secondary=s) for t, s in specs]
+    for e in events:
+        q.push(e)
+    popped = [q.pop() for _ in range(len(events))]
+    keys = [(e.time, e.secondary, e.id) for e in popped]
+    assert keys == sorted(keys)

@@ -1,0 +1,73 @@
+"""Tests for the hook system and its engine integration."""
+
+from repro.akita import (
+    CallbackEvent,
+    Engine,
+    HookCtx,
+    HookPos,
+    Hookable,
+)
+
+
+def test_hookable_attach_invoke_remove():
+    h = Hookable()
+    seen = []
+    hook = seen.append
+    h.accept_hook(hook)
+    assert h.num_hooks == 1
+    ctx = HookCtx(domain=h, now=1.0, pos=HookPos.BEFORE_EVENT, item="x")
+    h.invoke_hooks(ctx)
+    assert seen == [ctx]
+    h.remove_hook(hook)
+    h.invoke_hooks(ctx)
+    assert len(seen) == 1
+
+
+def test_multiple_hooks_all_fire_in_order():
+    h = Hookable()
+    order = []
+    h.accept_hook(lambda ctx: order.append("first"))
+    h.accept_hook(lambda ctx: order.append("second"))
+    h.invoke_hooks(HookCtx(h, 0.0, HookPos.AFTER_EVENT))
+    assert order == ["first", "second"]
+
+
+def test_engine_hooks_see_events_and_lifecycle():
+    engine = Engine()
+    log = []
+    engine.accept_hook(lambda ctx: log.append((ctx.pos, ctx.item)))
+    engine.schedule(CallbackEvent(1.0, lambda e: None))
+    engine.run()
+    positions = [pos for pos, _ in log]
+    assert positions[0] is HookPos.ENGINE_START
+    assert HookPos.BEFORE_EVENT in positions
+    assert HookPos.AFTER_EVENT in positions
+    assert positions[-1] is HookPos.ENGINE_DRY
+    events = [item for pos, item in log if pos is HookPos.BEFORE_EVENT]
+    assert isinstance(events[0], CallbackEvent)
+
+
+def test_pause_continue_hooks_fire():
+    engine = Engine()
+    positions = []
+    engine.accept_hook(lambda ctx: positions.append(ctx.pos))
+    engine.pause()
+    engine.continue_()
+    assert positions == [HookPos.ENGINE_PAUSE, HookPos.ENGINE_CONTINUE]
+
+
+def test_hook_can_count_event_rate():
+    """The pattern a monitoring tool uses: count events via a hook."""
+    engine = Engine()
+    counter = {"n": 0}
+
+    def hook(ctx):
+        if ctx.pos is HookPos.AFTER_EVENT:
+            counter["n"] += 1
+
+    engine.accept_hook(hook)
+    for i in range(10):
+        engine.schedule(CallbackEvent(float(i + 1), lambda e: None))
+    engine.run()
+    assert counter["n"] == 10
+    assert engine.event_count == 10

@@ -1,0 +1,145 @@
+"""Tests for the Simulation container: registry, completion, hang/kickstart."""
+
+import threading
+import time
+
+import pytest
+
+from repro.akita import (
+    CallbackEvent,
+    Component,
+    Engine,
+    Simulation,
+    TickingComponent,
+)
+
+
+class _Noop(Component):
+    def handle(self, event):
+        pass
+
+
+def test_register_and_lookup_components():
+    sim = Simulation()
+    c = _Noop("GPU[0].CU[0]", sim.engine)
+    sim.register_component(c)
+    assert sim.component("GPU[0].CU[0]") is c
+    assert sim.has_component("GPU[0].CU[0]")
+    assert not sim.has_component("nope")
+    assert sim.component_names == ["GPU[0].CU[0]"]
+
+
+def test_duplicate_registration_rejected():
+    sim = Simulation()
+    sim.register_component(_Noop("C", sim.engine))
+    with pytest.raises(ValueError):
+        sim.register_component(_Noop("C", sim.engine))
+
+
+def test_default_completion_is_dry_queue():
+    sim = Simulation()
+    fired = []
+    sim.engine.schedule(CallbackEvent(1.0, lambda e: fired.append(e.time)))
+    assert sim.run()
+    assert sim.completed
+    assert sim.run_state == "completed"
+    assert fired == [1.0]
+
+
+def test_explicit_completion_check():
+    sim = Simulation()
+    state = {"done": False}
+    sim.set_completion_check(lambda: state["done"])
+
+    def finish(event):
+        state["done"] = True
+
+    sim.engine.schedule(CallbackEvent(1.0, finish))
+    assert sim.run()
+    assert sim.completed
+
+
+def test_hang_detected_when_dry_but_incomplete():
+    sim = Simulation()
+    sim.set_completion_check(lambda: False)  # never completes
+    sim.engine.schedule(CallbackEvent(1.0, lambda e: None))
+    assert sim.run(hang_wait=0.0) is False
+    assert not sim.completed
+    assert sim.run_state == "hung"
+
+
+def test_kickstart_resumes_hung_simulation():
+    """Mimics the paper's Tick-button + Kick Start debugging flow."""
+    sim = Simulation()
+    state = {"done": False}
+    sim.set_completion_check(lambda: state["done"])
+    sim.engine.schedule(CallbackEvent(1.0, lambda e: None))
+
+    result = {}
+
+    def run_sim():
+        result["ok"] = sim.run(hang_wait=30.0)
+
+    t = threading.Thread(target=run_sim)
+    t.start()
+    time.sleep(0.1)  # let it park on the dry queue
+    assert sim.run_state == "hung"
+
+    # Monitor thread: schedule repair work, then kick start.
+    def repair(event):
+        state["done"] = True
+
+    sim.engine.schedule(CallbackEvent(sim.engine.now + 1.0, repair))
+    sim.kickstart()
+    t.join(timeout=10)
+    assert not t.is_alive()
+    assert result["ok"] is True
+    assert sim.run_state == "completed"
+
+
+def test_abort_terminates_run():
+    sim = Simulation()
+    sim.set_completion_check(lambda: False)
+
+    result = {}
+
+    def run_sim():
+        result["ok"] = sim.run(hang_wait=30.0)
+
+    t = threading.Thread(target=run_sim)
+    t.start()
+    time.sleep(0.05)
+    sim.abort()
+    t.join(timeout=10)
+    assert not t.is_alive()
+    assert result["ok"] is False
+    assert sim.run_state == "aborted"
+
+
+def test_ticking_component_in_simulation():
+    sim = Simulation()
+
+    class Worker(TickingComponent):
+        def __init__(self):
+            super().__init__("W", sim.engine)
+            self.left = 10
+
+        def tick(self):
+            if self.left == 0:
+                return False
+            self.left -= 1
+            return True
+
+    w = Worker()
+    sim.register_component(w)
+    sim.set_completion_check(lambda: w.left == 0)
+    w.tick_later()
+    assert sim.run()
+    assert w.left == 0
+
+
+def test_now_tracks_engine():
+    sim = Simulation()
+    sim.engine.schedule(CallbackEvent(2.5, lambda e: None))
+    sim.run()
+    assert sim.now == 2.5

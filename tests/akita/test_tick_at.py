@@ -1,0 +1,80 @@
+"""Tests for tick_at / tick_later scheduling semantics."""
+
+import pytest
+
+from repro.akita import Engine, TickingComponent
+
+
+class _Probe(TickingComponent):
+    def __init__(self, engine, progress_plan=None):
+        super().__init__("Probe", engine)
+        self.tick_times = []
+        self.progress_plan = progress_plan or []
+
+    def tick(self):
+        self.tick_times.append(self.engine.now)
+        if self.progress_plan:
+            return self.progress_plan.pop(0)
+        return False
+
+
+def test_tick_at_schedules_future_wakeup():
+    engine = Engine()
+    probe = _Probe(engine)
+    probe.tick_at(100e-9)
+    assert not probe.asleep
+    engine.run()
+    assert probe.tick_times == [pytest.approx(100e-9)]
+
+
+def test_tick_at_in_past_clamps_to_next_cycle():
+    engine = Engine()
+    probe = _Probe(engine)
+    engine.schedule(
+        __import__("repro.akita", fromlist=["CallbackEvent"])
+        .CallbackEvent(50e-9, lambda e: probe.tick_at(10e-9)))
+    engine.run()
+    assert probe.tick_times == [pytest.approx(51e-9)]
+
+
+def test_earlier_tick_overrides_later_one():
+    engine = Engine()
+    probe = _Probe(engine)
+    probe.tick_at(100e-9)
+    probe.tick_later()  # next cycle (1 ns) is earlier: must win
+    engine.run()
+    # Woken at 1 ns; the stale 100 ns event still fires but is a
+    # harmless no-progress tick.
+    assert probe.tick_times[0] == pytest.approx(1e-9)
+
+
+def test_later_tick_at_is_ignored_when_earlier_pending():
+    engine = Engine()
+    probe = _Probe(engine)
+    probe.tick_later()
+    probe.tick_at(100e-9)  # ignored: earlier tick pending
+    engine.run_until(50e-9)
+    assert len(probe.tick_times) == 1
+    engine.run()
+    assert len(probe.tick_times) == 1  # no stale event was created
+
+
+def test_stale_tick_is_harmless_after_progress():
+    engine = Engine()
+    probe = _Probe(engine, progress_plan=[True, True, False])
+    probe.tick_at(10e-9)
+    probe.tick_later()  # earlier; the 10 ns event becomes stale
+    engine.run()
+    # Ticks at 1, 2, 3 ns (progress plan) and the stale 10 ns wakeup.
+    assert probe.tick_times[:3] == [pytest.approx(t * 1e-9)
+                                    for t in (1, 2, 3)]
+
+
+def test_asleep_reflects_scheduling_state():
+    engine = Engine()
+    probe = _Probe(engine)
+    assert probe.asleep
+    probe.tick_later()
+    assert not probe.asleep
+    engine.run()
+    assert probe.asleep

@@ -1,0 +1,159 @@
+"""Tests for alert rules — the 'fail early, fail fast' automation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.akita import Buffer
+from repro.core import AlertManager, AlertRule, Monitor, RTMClient
+from repro.gpu import GPUPlatform
+from repro.workloads import StoreStorm
+
+
+class _Gauge:
+    name = "Gauge"
+
+    def __init__(self):
+        self.level = 0.0
+        self.buf = Buffer("Gauge.B", 4)
+
+
+# -------------------------------------------------------------- rules
+def test_rule_fires_when_condition_holds():
+    g = _Gauge()
+    rule = AlertRule(g, "level", ">=", 10.0)
+    g.level = 12
+    assert rule.evaluate(time.monotonic(), 1.0)
+    assert rule.fired
+    assert rule.fired_at_sim_time == 1.0
+
+
+def test_rule_does_not_fire_below_threshold():
+    g = _Gauge()
+    rule = AlertRule(g, "level", ">=", 10.0)
+    g.level = 9.9
+    assert not rule.evaluate(time.monotonic(), 0.0)
+    assert not rule.fired
+
+
+def test_rule_requires_sustained_condition():
+    g = _Gauge()
+    g.level = 100
+    rule = AlertRule(g, "level", ">=", 10.0, duration=0.1)
+    t0 = time.monotonic()
+    assert not rule.evaluate(t0, 0.0)          # starts the hold window
+    assert not rule.evaluate(t0 + 0.05, 0.0)   # not held long enough
+    assert rule.evaluate(t0 + 0.11, 0.0)       # held: fires
+
+
+def test_hold_window_resets_on_dip():
+    g = _Gauge()
+    rule = AlertRule(g, "level", ">=", 10.0, duration=0.1)
+    t0 = time.monotonic()
+    g.level = 50
+    rule.evaluate(t0, 0.0)
+    g.level = 1
+    rule.evaluate(t0 + 0.05, 0.0)              # dip resets the window
+    g.level = 50
+    assert not rule.evaluate(t0 + 0.12, 0.0)   # window restarted
+    assert rule.evaluate(t0 + 0.25, 0.0)
+
+
+def test_rule_fires_once():
+    g = _Gauge()
+    g.level = 99
+    rule = AlertRule(g, "level", ">", 1.0)
+    now = time.monotonic()
+    assert rule.evaluate(now, 0.0)
+    assert not rule.evaluate(now + 1, 0.0)
+
+
+def test_rule_on_buffer_size():
+    g = _Gauge()
+    rule = AlertRule(g, "buf", ">=", 4.0)
+    for _ in range(4):
+        g.buf.push("x")
+    assert rule.evaluate(time.monotonic(), 0.0)
+
+
+def test_rule_validation():
+    g = _Gauge()
+    with pytest.raises(ValueError):
+        AlertRule(g, "level", "!=", 1.0)
+    with pytest.raises(ValueError):
+        AlertRule(g, "level", ">=", 1.0, action="explode")
+
+
+def test_rule_label_and_dict():
+    g = _Gauge()
+    rule = AlertRule(g, "level", ">=", 8.0, duration=1.0)
+    assert rule.label == "Gauge.level >= 8"
+    d = rule.to_dict()
+    assert d["fired"] is False
+    assert d["action"] == "notify"
+
+
+# -------------------------------------------------------------- manager
+def test_manager_abort_action():
+    aborted = []
+    manager = AlertManager(abort=lambda: aborted.append(True))
+    g = _Gauge()
+    g.level = 11
+    manager.add(AlertRule(g, "level", ">=", 10.0, action="abort"))
+    fired = manager.evaluate_all(now_sim=2.0)
+    assert len(fired) == 1
+    assert aborted == [True]
+    assert manager.fired_log == fired
+
+
+def test_manager_add_remove():
+    manager = AlertManager()
+    rule = manager.add(AlertRule(_Gauge(), "level", ">=", 1.0))
+    assert manager.remove(rule.id)
+    assert not manager.remove(rule.id)
+    assert manager.rules == []
+
+
+# -------------------------------------------------------------- monitor + HTTP
+def test_abort_on_hang_terminates_hung_simulation():
+    """Fully automated fail-fast: the hung platform is torn down by the
+    monitor without any human action."""
+    platform = GPUPlatform(StoreStorm.trigger_config(buggy=True))
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    monitor.sample_interval = 0.05
+    monitor.abort_on_hang()
+    monitor.start_sampler()
+    StoreStorm().enqueue(platform.driver)
+    # hang_wait large: only the monitor's abort can end this run.
+    completed = platform.run(hang_wait=120.0)
+    monitor.stop_sampler()
+    assert completed is False
+    assert platform.simulation.run_state == "aborted"
+
+
+def test_alert_api_over_http():
+    platform = GPUPlatform(StoreStorm.trigger_config(buggy=True))
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    monitor.sample_interval = 0.05
+    monitor.start_sampler()
+    url = monitor.start_server()
+    client = RTMClient(url)
+    StoreStorm().enqueue(platform.driver)
+
+    wb = platform.chiplets[0].write_buffers[0].name
+    rule_id = client.add_alert(wb, "size", ">=", 2.0, duration=0.0,
+                               action="abort")
+    rules = client.alerts()
+    assert rules[0]["id"] == rule_id
+    assert rules[0]["action"] == "abort"
+
+    completed = platform.run(hang_wait=120.0)
+    assert completed is False
+    assert platform.simulation.run_state == "aborted"
+    fired = [r for r in client.alerts() if r["fired"]]
+    assert fired and fired[0]["id"] == rule_id
+    assert client.remove_alert(rule_id)
+    monitor.stop_server()

@@ -1,0 +1,92 @@
+"""Tests for the §VIII future-work extensions implemented here:
+the connection-topology map and per-port throughput counters."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Monitor, RTMClient, RTMClientError
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+
+@pytest.fixture
+def rig():
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    url = monitor.start_server()
+    yield platform, monitor, RTMClient(url)
+    monitor.stop_server()
+
+
+def test_topology_lists_every_connection(rig):
+    platform, monitor, client = rig
+    topo = client.topology()
+    names = {c["name"] for c in topo["connections"]}
+    assert "DriverConn" in names
+    assert "GPU[0].L1ToL2Conn" in names
+    assert "GPU[1].NetLink" in names
+    # Every connection's ports resolve to port-shaped names.
+    for conn in topo["connections"]:
+        assert conn["latency"] > 0
+        assert conn["ports"]
+        assert all("." in p for p in conn["ports"])
+
+
+def test_topology_connects_cu_chain(rig):
+    platform, monitor, client = rig
+    topo = client.topology()
+    chain = next(c for c in topo["connections"]
+                 if c["name"] == "GPU[0].SA[0].CUROBConn[0]")
+    assert "GPU[0].SA[0].CU[0].MemPort" in chain["ports"]
+    assert "GPU[0].SA[0].L1VROB[0].TopPort" in chain["ports"]
+
+
+def test_topology_without_simulation_is_empty():
+    assert Monitor().topology() == {"connections": []}
+
+
+def test_throughput_counters_accumulate(rig):
+    platform, monitor, client = rig
+    FIR(num_samples=8192).enqueue(platform.driver)
+    cu_name = platform.chiplets[0].cus[0].name
+    before = {p["port"]: p for p in client.throughput(cu_name)}
+    assert all(p["sent"] == 0 for p in before.values())
+    thread = threading.Thread(target=platform.run)
+    thread.start()
+    thread.join(timeout=120)
+    after = {p["port"]: p for p in client.throughput(cu_name)}
+    mem_port = f"{cu_name}.MemPort"
+    assert after[mem_port]["sent"] > 0
+    assert after[mem_port]["delivered"] > 0      # responses came back
+    assert after[mem_port]["buffered"] == 0      # drained at the end
+
+
+def test_throughput_message_conservation(rig):
+    """Across one CU chain hop: CU sent == ROB delivered (requests) and
+    ROB sent == CU delivered (responses)."""
+    platform, monitor, client = rig
+    FIR(num_samples=8192).enqueue(platform.driver)
+    platform.run()
+    cu = platform.chiplets[0].cus[0]
+    rob = platform.chiplets[0].robs[0]
+    assert cu.mem_port.num_sent == rob.top_port.num_delivered
+    assert rob.top_port.num_sent == cu.mem_port.num_delivered
+
+
+def test_throughput_unknown_component_404(rig):
+    _, __, client = rig
+    with pytest.raises(RTMClientError, match="404"):
+        client.throughput("NoSuch")
+
+
+def test_port_serialization_includes_counters(rig):
+    platform, monitor, client = rig
+    FIR(num_samples=8192).enqueue(platform.driver)
+    platform.run()
+    detail = client.component(platform.chiplets[0].robs[0].name)
+    top_port = detail["fields"]["top_port"]
+    assert top_port["sent"] > 0
+    assert top_port["delivered"] > 0

@@ -1,0 +1,174 @@
+"""Tests for reflection-based component inspection."""
+
+import pytest
+
+from repro.akita import Buffer, Component, Engine
+from repro.core import (
+    discover_buffers,
+    numeric_value,
+    resolve_path,
+    serialize_component,
+    serialize_value,
+    watchable_paths,
+)
+
+
+class _Inner:
+    def __init__(self):
+        self.depth_marker = 42
+
+
+class _Widget(Component):
+    """A component with a representative spread of field types."""
+
+    def __init__(self, engine):
+        super().__init__("Sys.Widget", engine)
+        self.top = self.add_port("Top", 4)
+        self.counter = 7
+        self.ratio = 0.5
+        self.label = "hello"
+        self.enabled = True
+        self.items = [1, 2, 3]
+        self.table = {"a": 1, "b": 2}
+        self.internal_buf = Buffer("Sys.Widget.Internal", 8)
+        self.inner = _Inner()
+        self._secret = "hidden"
+
+    @property
+    def derived(self):
+        return self.counter * 2
+
+    def handle(self, event):
+        pass
+
+
+@pytest.fixture
+def widget():
+    return _Widget(Engine())
+
+
+def test_serialize_scalars(widget):
+    detail = serialize_component(widget)
+    fields = detail["fields"]
+    assert fields["counter"] == 7
+    assert fields["ratio"] == 0.5
+    assert fields["label"] == "hello"
+    assert fields["enabled"] is True
+
+
+def test_serialize_includes_properties(widget):
+    assert serialize_component(widget)["fields"]["derived"] == 14
+
+
+def test_serialize_skips_private_fields(widget):
+    assert "_secret" not in serialize_component(widget)["fields"]
+
+
+def test_serialize_skips_engine_backref(widget):
+    assert "engine" not in serialize_component(widget)["fields"]
+
+
+def test_serialize_containers_report_sizes(widget):
+    fields = serialize_component(widget)["fields"]
+    assert fields["items"]["__kind__"] == "list"
+    assert fields["items"]["size"] == 3
+    assert fields["table"]["__kind__"] == "dict"
+    assert fields["table"]["size"] == 2
+
+
+def test_serialize_buffer_and_port(widget):
+    fields = serialize_component(widget)["fields"]
+    assert fields["internal_buf"]["__kind__"] == "buffer"
+    assert fields["internal_buf"]["capacity"] == 8
+    assert fields["top"]["__kind__"] == "port"
+    assert fields["top"]["buffer"]["capacity"] == 4
+
+
+def test_serialize_nested_object_depth_limited(widget):
+    fields = serialize_component(widget)["fields"]
+    assert fields["inner"]["__kind__"] == "object"
+    assert fields["inner"]["fields"]["depth_marker"] == 42
+
+
+def test_serialize_long_list_preview_bounded():
+    value = serialize_value(list(range(100)))
+    assert value["size"] == 100
+    assert len(value["preview"]) <= 8
+
+
+def test_serialize_component_name_and_type(widget):
+    detail = serialize_component(widget)
+    assert detail["name"] == "Sys.Widget"
+    assert detail["type"] == "_Widget"
+
+
+def test_discover_buffers_finds_port_and_internal(widget):
+    buffers = discover_buffers(widget)
+    names = {b.name for b in buffers}
+    assert "Sys.Widget.Top.Buf" in names
+    assert "Sys.Widget.Internal" in names
+
+
+def test_discover_buffers_in_containers():
+    engine = Engine()
+
+    class Holder(Component):
+        def __init__(self):
+            super().__init__("H", engine)
+            self.buf_list = [Buffer("H.B0", 2), Buffer("H.B1", 2)]
+            self.buf_map = {"x": Buffer("H.B2", 2)}
+
+        def handle(self, event):
+            pass
+
+    names = {b.name for b in discover_buffers(Holder())}
+    assert names == {"H.B0", "H.B1", "H.B2"}
+
+
+def test_discover_buffers_deduplicates():
+    engine = Engine()
+
+    class Holder(Component):
+        def __init__(self):
+            super().__init__("H", engine)
+            self.buf = Buffer("H.B", 2)
+            self.alias = self.buf
+
+        def handle(self, event):
+            pass
+
+    assert len(discover_buffers(Holder())) == 1
+
+
+def test_resolve_path_attributes(widget):
+    assert resolve_path(widget, "counter") == 7
+    assert resolve_path(widget, "inner.depth_marker") == 42
+    assert resolve_path(widget, "top.buf.capacity") == 4
+
+
+def test_resolve_path_indexing(widget):
+    assert resolve_path(widget, "items[1]") == 2
+
+
+def test_resolve_path_bad_path_raises(widget):
+    with pytest.raises(AttributeError):
+        resolve_path(widget, "nope.nothing")
+
+
+def test_numeric_value_reduction(widget):
+    assert numeric_value(3) == 3.0
+    assert numeric_value(2.5) == 2.5
+    assert numeric_value(True) == 1.0
+    assert numeric_value([1, 2, 3]) == 3.0        # container -> size
+    assert numeric_value({"a": 1}) == 1.0
+    assert numeric_value(widget.internal_buf) == 0.0  # buffer -> size
+    assert numeric_value("text") is None
+    assert numeric_value(object()) is None
+
+
+def test_watchable_paths(widget):
+    paths = watchable_paths(widget)
+    assert "counter" in paths
+    assert "items" in paths          # container: size is plottable
+    assert "top.buf" in paths        # port buffer
+    assert "label" not in paths      # strings are not plottable

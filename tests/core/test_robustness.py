@@ -1,0 +1,165 @@
+"""Failure injection and robustness of the monitoring layer.
+
+A monitor must never take the simulation down: hostile component shapes
+(raising properties, recursive references, slots-only objects, huge
+containers) and concurrent control-plane abuse should degrade
+gracefully.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.akita import Buffer, Component, Engine
+from repro.core import Monitor, RTMClient, serialize_component, serialize_value
+from repro.core.inspector import discover_buffers
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+
+# ---------------------------------------------------------- hostile shapes
+class _RaisingProperty(Component):
+    def __init__(self, engine):
+        super().__init__("Nasty", engine)
+        self.fine = 1
+
+    @property
+    def explosive(self):
+        raise RuntimeError("boom")
+
+    def handle(self, event):
+        pass
+
+
+def test_raising_property_is_skipped():
+    detail = serialize_component(_RaisingProperty(Engine()))
+    assert detail["fields"]["fine"] == 1
+    assert "explosive" not in detail["fields"]
+
+
+def test_recursive_structure_terminates():
+    loop = {}
+    loop["self"] = loop
+    value = serialize_value(loop)
+    assert value["__kind__"] == "dict"
+    json.dumps(value)  # depth-limited => JSON-safe
+
+
+def test_self_referencing_component():
+    engine = Engine()
+
+    class Selfie(Component):
+        def __init__(self):
+            super().__init__("Selfie", engine)
+            self.me = self
+
+        def handle(self, event):
+            pass
+
+    selfie = Selfie()
+    json.dumps(serialize_component(selfie))
+    assert discover_buffers(selfie) == []
+
+
+def test_slots_only_payload():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self):
+            self.a = 1
+            self.b = [1, 2]
+
+    value = serialize_value(Slotted())
+    assert value["fields"]["a"] == 1
+
+
+def test_huge_container_preview_is_bounded():
+    value = serialize_value({i: i for i in range(10_000)})
+    assert value["size"] == 10_000
+    assert len(value["preview"]) <= 8
+    assert len(json.dumps(value)) < 10_000
+
+
+@given(st.recursive(
+    st.one_of(st.integers(), st.floats(allow_nan=False), st.booleans(),
+              st.text(max_size=10), st.none()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=5), children, max_size=5)),
+    max_leaves=20))
+@settings(max_examples=50, deadline=None)
+def test_serialize_value_never_raises_and_is_json_safe(payload):
+    json.dumps(serialize_value(payload))
+
+
+# ---------------------------------------------------------- API payloads
+@pytest.fixture
+def live():
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=1))
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    FIR(num_samples=16384).enqueue(platform.driver)
+    url = monitor.start_server()
+    thread = threading.Thread(target=platform.run, daemon=True)
+    thread.start()
+    yield platform, monitor, RTMClient(url), thread
+    platform.simulation.abort()
+    thread.join(timeout=30)
+    monitor.stop_server()
+
+
+def test_every_component_detail_is_json_safe(live):
+    platform, monitor, client, thread = live
+    for name in monitor.component_names():
+        json.dumps(monitor.component_detail(name))
+
+
+def test_concurrent_control_plane_abuse(live):
+    """Hammer pause/continue/tick/watch from several threads while the
+    simulation runs; nothing may crash and the run must finish."""
+    platform, monitor, client, thread = live
+    errors = []
+
+    def abuse(seed):
+        try:
+            names = client.components()
+            for i in range(15):
+                op = (seed + i) % 4
+                if op == 0:
+                    client.pause()
+                    client.continue_()
+                elif op == 1:
+                    client.tick(names[(seed + i) % len(names)])
+                elif op == 2:
+                    wid = client.watch(names[(seed + i) % len(names)],
+                                       "tick_count")
+                    client.unwatch(wid)
+                else:
+                    client.buffers(top=3)
+                    client.overview()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=abuse, args=(k,))
+               for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    client.continue_()  # in case a pause was last
+    thread.join(timeout=120)
+    assert errors == []
+    assert platform.simulation.run_state == "completed"
+
+
+def test_monitor_survives_simulation_abort(live):
+    platform, monitor, client, thread = live
+    platform.simulation.abort()
+    thread.join(timeout=30)
+    # The API keeps answering about the dead simulation.
+    assert client.overview()["run_state"] == "aborted"
+    assert client.hang()["hung"] is False  # aborted, not hung
+    assert isinstance(client.buffers(top=5), list)

@@ -1,0 +1,94 @@
+"""Conservation properties of the full GPU platform.
+
+The strongest invariant a memory hierarchy must satisfy: every request
+issued by a CU receives exactly one response, no matter how the
+addresses spread across caches, banks and chiplets.  Hypothesis drives
+randomized workloads through a small platform end to end.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import GPUPlatform, GPUPlatformConfig, KernelDescriptor
+from repro.workloads import mix
+
+
+@st.composite
+def workload_spec(draw):
+    num_wgs = draw(st.integers(min_value=1, max_value=6))
+    wfs = draw(st.integers(min_value=1, max_value=3))
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    store_ratio = draw(st.integers(min_value=0, max_value=3))
+    return num_wgs, wfs, n_ops, seed, store_ratio
+
+
+@given(workload_spec())
+@settings(max_examples=12, deadline=None)
+def test_every_request_is_answered(spec):
+    num_wgs, wfs, n_ops, seed, store_ratio = spec
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+
+    def program(wg, wf):
+        for i in range(n_ops):
+            h = mix(seed, wg, wf, i)
+            addr = h % (1 << 22)
+            if h % 4 < store_ratio:
+                yield ("store", addr, 4)
+            else:
+                yield ("load", addr, 4)
+            if h % 5 == 0:
+                yield ("compute", 1 + h % 3)
+
+    kernel = KernelDescriptor("prop", num_wgs, wfs, program)
+    state = platform.driver.launch_kernel(kernel)
+    assert platform.run(), "random workload must complete (no deadlock)"
+    assert state.completed == num_wgs
+    assert state.ongoing == 0
+
+    # Conservation at every level of the hierarchy.
+    for chiplet in platform.chiplets:
+        for cu in chiplet.cus:
+            assert cu.outstanding_mem_reqs == 0
+            assert cu.resident_wavefronts == 0
+        for rob in chiplet.robs:
+            assert rob.size == 0
+        for at in chiplet.ats:
+            assert at.transactions == 0
+            assert at.inflight_below == 0
+        for l1 in chiplet.l1s:
+            assert l1.transactions == 0
+        for l2 in chiplet.l2s:
+            assert l2.transactions == 0
+            assert not l2.eviction_staging
+        for wb in chiplet.write_buffers:
+            assert wb.size == 0
+        for dram in chiplet.drams:
+            assert dram.transactions == 0
+        assert chiplet.rdma.transactions == 0
+        assert chiplet.rdma.incoming_transactions == 0
+
+    # Every buffer in the system drained.
+    for component in platform.simulation.components:
+        for port in component.ports:
+            assert port.buf.size == 0, port.buf.name
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=6, deadline=None)
+def test_deterministic_replay(seed):
+    """Two runs of the same workload produce identical timing."""
+
+    def run():
+        platform = GPUPlatform(
+            GPUPlatformConfig.small(num_chiplets=2))
+
+        def program(wg, wf):
+            for i in range(6):
+                yield ("load", mix(seed, wg, wf, i) % (1 << 20), 4)
+
+        platform.driver.launch_kernel(
+            KernelDescriptor("det", 4, 2, program))
+        assert platform.run()
+        return platform.simulation.now, platform.engine.event_count
+
+    assert run() == run()

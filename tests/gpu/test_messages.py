@@ -1,0 +1,90 @@
+"""Tests for memory-system message types and address helpers."""
+
+import pytest
+
+from repro.akita import Engine
+from repro.gpu import (
+    CACHE_LINE_SIZE,
+    DataReadyRsp,
+    EvictionReq,
+    FetchedData,
+    NetMsg,
+    ReadReq,
+    WriteDoneRsp,
+    WriteReq,
+    line_address,
+)
+from repro.gpu.mem import MemReq, MemRsp
+
+
+class _Holder:
+    """Bare port stand-in (messages only need an object reference)."""
+
+    def __init__(self, name="P"):
+        self.name = name
+
+
+def test_line_address_alignment():
+    assert line_address(0) == 0
+    assert line_address(63) == 0
+    assert line_address(64) == 64
+    assert line_address(130) == 128
+    assert CACHE_LINE_SIZE == 64
+
+
+def test_read_req_fields():
+    dst = _Holder()
+    req = ReadReq(dst, 0x1234, 4)
+    assert req.dst is dst
+    assert req.address == 0x1234
+    assert req.access_bytes == 4
+    assert req.line_addr == 0x1200
+    assert isinstance(req, MemReq)
+
+
+def test_write_req_wire_size_includes_payload():
+    req = WriteReq(_Holder(), 0, 64)
+    small = WriteReq(_Holder(), 0, 4)
+    assert req.size_bytes > small.size_bytes
+    assert req.size_bytes == 16 + 64
+
+
+def test_responses_reference_their_request():
+    req = ReadReq(_Holder(), 0, 4)
+    rsp = DataReadyRsp(_Holder(), req.id, 64)
+    assert rsp.respond_to == req.id
+    assert isinstance(rsp, MemRsp)
+    ack = WriteDoneRsp(_Holder(), req.id)
+    assert ack.respond_to == req.id
+
+
+def test_data_ready_wire_size_includes_data():
+    big = DataReadyRsp(_Holder(), 1, data_bytes=64)
+    small = DataReadyRsp(_Holder(), 1, data_bytes=4)
+    assert big.size_bytes > small.size_bytes
+
+
+def test_eviction_and_fill_carry_line_payloads():
+    ev = EvictionReq(_Holder(), 0x80)
+    assert ev.address == 0x80
+    assert ev.size_bytes == 16 + CACHE_LINE_SIZE
+    fill = FetchedData(_Holder(), 0x80, respond_to=7)
+    assert fill.address == 0x80
+    assert fill.respond_to == 7
+
+
+def test_netmsg_wraps_payload_with_overhead():
+    payload = ReadReq(_Holder(), 0, 64)
+    origin, final = _Holder("origin"), _Holder("final")
+    envelope = NetMsg(_Holder("switch"), payload, final, origin)
+    assert envelope.payload is payload
+    assert envelope.final_dst is final
+    assert envelope.origin is origin
+    assert envelope.size_bytes == payload.size_bytes + 8
+
+
+def test_message_ids_are_unique_and_increasing():
+    a = ReadReq(_Holder(), 0, 4)
+    b = WriteReq(_Holder(), 0, 4)
+    c = EvictionReq(_Holder(), 0)
+    assert a.id < b.id < c.id

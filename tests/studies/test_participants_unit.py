@@ -1,0 +1,157 @@
+"""Unit tests of participant agents against a scripted fake client
+(no simulations: pure behaviour checks)."""
+
+import pytest
+
+from repro.studies.participants import (
+    PARTICIPANTS,
+    Findings,
+    ParticipantAgent,
+    Profile,
+)
+
+
+class FakeClient:
+    """Deterministic stand-in for RTMClient."""
+
+    def __init__(self, rob_pinned=True, l1_peak=16, rdma_peak=90):
+        self.rob_pinned = rob_pinned
+        self.l1_peak = l1_peak
+        self.rdma_peak = rdma_peak
+        self.calls = []
+        self._names = [
+            "Driver",
+            "GPU[0].SA[0].CU[0]",
+            "GPU[0].SA[0].L1VROB[0]",
+            "GPU[0].SA[0].L1VAddrTrans[0]",
+            "GPU[0].SA[0].L1VCache[0]",
+            "GPU[0].RDMA",
+        ]
+
+    # -- monitoring views -------------------------------------------------
+    def overview(self):
+        self.calls.append("overview")
+        return {"now": 1e-6, "run_state": "running"}
+
+    def progress(self):
+        self.calls.append("progress")
+        return [{"name": "kernel:im2col", "completed": 1, "ongoing": 2,
+                 "not_started": 13, "total": 16}]
+
+    def components(self):
+        self.calls.append("components")
+        return list(self._names)
+
+    def component(self, name):
+        self.calls.append(f"component:{name}")
+        if name not in self._names:
+            raise KeyError(name)
+        fields = {"transactions": 0}
+        if "L1VCache" in name:
+            fields["mshr"] = {"__kind__": "object", "type": "MSHR",
+                              "fields": {"capacity": 16}}
+        return {"name": name, "type": "X", "fields": fields,
+                "watchable": ["size", "transactions"], "ticking": True}
+
+    def buffers(self, sort="percent", top=50):
+        self.calls.append("buffers")
+        if not self.rob_pinned:
+            return []
+        return [{"buffer": "GPU[0].SA[0].L1VROB[0].TopPort.Buf",
+                 "size": 8, "capacity": 8, "percent": 1.0}]
+
+    def value(self, component, path):
+        self.calls.append(f"value:{component}.{path}")
+        if "L1VCache" in component:
+            return float(self.l1_peak)
+        if "RDMA" in component:
+            return float(self.rdma_peak)
+        return 3.0
+
+    def watch(self, component, path):
+        self.calls.append(f"watch:{component}.{path}")
+        return 1
+
+    def watches(self):
+        self.calls.append("watches")
+        return []
+
+    def profile_start(self):
+        self.calls.append("profile_start")
+
+    def profile_stop(self):
+        self.calls.append("profile_stop")
+
+    def profile(self, top=15):
+        self.calls.append("profile")
+        return {"functions": [], "edges": [], "samples": 0}
+
+
+def _agent(code, client):
+    profile = next(p for p in PARTICIPANTS if p.code == code)
+    return ParticipantAgent(profile, client, think_time=0.0)
+
+
+def test_deep_agent_finds_all_three_bottlenecks():
+    client = FakeClient()
+    findings = _agent("PT3", client).find_bottlenecks()
+    assert findings.bottlenecks == {"ROB", "L1", "RDMA"}
+    assert findings.success
+
+
+def test_medium_agent_stops_at_the_rob():
+    client = FakeClient()
+    findings = _agent("PT2", client).find_bottlenecks()
+    assert findings.bottlenecks == {"ROB"}
+    assert not findings.success
+
+
+def test_shallow_agent_browses_but_concludes_nothing():
+    client = FakeClient()
+    findings = _agent("PT1", client).find_bottlenecks()
+    assert findings.bottlenecks == set()
+    assert any("learning" in obs for obs in findings.observations)
+
+
+def test_deep_agent_without_congestion_finds_nothing():
+    client = FakeClient(rob_pinned=False)
+    findings = _agent("PT3", client).find_bottlenecks()
+    assert findings.bottlenecks == set()
+
+
+def test_l1_below_capacity_not_flagged():
+    client = FakeClient(l1_peak=9)
+    findings = _agent("PT3", client).find_bottlenecks()
+    assert "L1" not in findings.bottlenecks
+    assert "RDMA" in findings.bottlenecks
+
+
+def test_quiet_rdma_not_flagged():
+    client = FakeClient(rdma_peak=12)
+    findings = _agent("PT3", client).find_bottlenecks()
+    assert "RDMA" not in findings.bottlenecks
+
+
+def test_analyzer_refresh_count_scales_with_depth():
+    deep, shallow = FakeClient(), FakeClient()
+    _agent("PT3", deep).find_bottlenecks()
+    _agent("PT1", shallow).find_bottlenecks()
+    assert deep.calls.count("buffers") > shallow.calls.count("buffers")
+
+
+def test_profiler_gated_on_prior_experience():
+    experienced, novice = FakeClient(), FakeClient()
+    findings = Findings()
+    _agent("PT2", experienced).maybe_profile(findings)
+    assert findings.feature_usage.get("profiler") == 1
+    findings2 = Findings()
+    _agent("PT4", novice).maybe_profile(findings2)
+    assert "profiler" not in findings2.feature_usage
+    assert novice.calls == []
+
+
+def test_explore_visits_tree_and_details():
+    client = FakeClient()
+    findings = _agent("PT5", client).explore()
+    assert findings.feature_usage["component_tree"] == 1
+    assert findings.feature_usage["component_detail"] >= 2

@@ -1,0 +1,52 @@
+"""Tests for study report formatting."""
+
+from repro.studies.participants import PARTICIPANTS, Findings
+from repro.studies.session import SessionResult, StudyResult
+from repro.studies.survey import SurveyTable, respond
+
+
+def _fabricated_study() -> StudyResult:
+    sessions = []
+    for profile in PARTICIPANTS:
+        findings = Findings()
+        if profile.code in ("PT3", "PT4", "PT5"):
+            findings.bottlenecks = {"ROB", "RDMA"}
+            findings.observations.append("found the network bottleneck")
+        if profile.prior_experience:
+            findings.used("profiler")
+        findings.used("bottleneck_analyzer")
+        sessions.append(SessionResult(
+            profile, Findings(), findings,
+            respond(profile, findings), themes=["companion"]))
+    table = SurveyTable.from_responses([s.responses for s in sessions])
+    return StudyResult(sessions, table)
+
+
+def test_report_contains_all_sections():
+    report = _fabricated_study().format_report()
+    assert "# User study report" in report
+    assert "## Sessions" in report
+    assert "## Feature usage" in report
+    assert "## Survey" in report
+    for code in ("PT1", "PT2", "PT3", "PT4", "PT5", "PT6"):
+        assert code in report
+
+
+def test_report_marks_success_and_failure():
+    report = _fabricated_study().format_report()
+    assert "SUCCESS" in report
+    assert "did not complete" in report
+    assert "found the network bottleneck" in report
+
+
+def test_report_states_figure6_verdict():
+    report = _fabricated_study().format_report()
+    assert "Matches the paper's Figure 6: True" in report
+
+
+def test_report_orders_features_by_usage():
+    report = _fabricated_study().format_report()
+    usage_section = report.split("## Feature usage")[1]
+    analyzer_pos = usage_section.find("bottleneck_analyzer")
+    profiler_pos = usage_section.find("profiler")
+    assert 0 <= analyzer_pos < profiler_pos

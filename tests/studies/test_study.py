@@ -1,0 +1,127 @@
+"""Tests for the simulated user study (Figure 6 reproduction)."""
+
+import pytest
+
+from repro.studies import (
+    PAPER_FIGURE6,
+    PARTICIPANTS,
+    STATEMENTS,
+    Findings,
+    SurveyTable,
+    respond,
+    run_session,
+)
+from repro.studies.participants import Profile
+from repro.studies.session import problem_platform_config, problem_workload
+
+
+# -------------------------------------------------------------- profiles
+def test_six_participants_with_paper_profiles():
+    assert [p.code for p in PARTICIPANTS] == [f"PT{i}" for i in range(1, 7)]
+    phds = {p.code for p in PARTICIPANTS if p.level == "phd"}
+    assert phds == {"PT2", "PT3", "PT4"}
+    prior = {p.code for p in PARTICIPANTS if p.prior_experience}
+    assert prior == {"PT2", "PT3", "PT5", "PT6"}
+
+
+# -------------------------------------------------------------- findings
+def test_success_criterion_requires_rob_and_rdma():
+    f = Findings()
+    assert not f.success
+    f.bottlenecks.add("ROB")
+    assert not f.success
+    f.bottlenecks.add("RDMA")
+    assert f.success
+
+
+def test_feature_usage_counting():
+    f = Findings()
+    f.used("x")
+    f.used("x")
+    f.used("y")
+    assert f.feature_usage == {"x": 2, "y": 1}
+
+
+# -------------------------------------------------------------- survey model
+def _findings_for(code: str) -> Findings:
+    """The part-3 outcomes the paper reports for each participant."""
+    f = Findings()
+    if code in ("PT3", "PT4", "PT5"):
+        f.bottlenecks = {"ROB", "RDMA"}
+    profile = next(p for p in PARTICIPANTS if p.code == code)
+    if profile.prior_experience:
+        f.used("profiler")
+    return f
+
+
+def test_survey_model_regenerates_figure6():
+    responses = [respond(p, _findings_for(p.code)) for p in PARTICIPANTS]
+    table = SurveyTable.from_responses(responses)
+    assert table.matches(PAPER_FIGURE6)
+
+
+def test_figure6_statistics_match_paper():
+    table = SurveyTable(PAPER_FIGURE6)
+    assert table.grand_mean == pytest.approx(4.5, abs=0.05)
+    means = [table.mean(q) for q in range(6)]
+    assert means.index(max(means)) == 3   # Q4 highest (4.8)
+    assert means.index(min(means)) == 5   # Q6 lowest (4.2)
+    assert table.mean(3) == pytest.approx(4.83, abs=0.01)
+    assert table.mean(5) == pytest.approx(4.17, abs=0.01)
+
+
+def test_every_row_sums_to_six():
+    for row in PAPER_FIGURE6:
+        assert sum(row.values()) == 6
+
+
+def test_survey_format_renders():
+    table = SurveyTable(PAPER_FIGURE6)
+    text = table.format()
+    for statement in STATEMENTS:
+        assert statement in text
+    assert "grand mean: 4.50" in text
+
+
+def test_all_responses_positive_or_single_disagree():
+    responses = [respond(p, _findings_for(p.code)) for p in PARTICIPANTS]
+    flat = [score for row in responses for score in row]
+    assert min(flat) == 2          # the one 'disagree' on Q6
+    assert flat.count(2) == 1
+    assert 1 not in flat           # never 'strongly disagree'
+
+
+# -------------------------------------------------------------- config
+def test_problem_platform_is_network_bound():
+    cfg = problem_platform_config()
+    assert cfg.num_chiplets == 4
+    assert cfg.net_msgs_per_cycle == 1
+    assert cfg.net_link_latency_cycles >= 20
+
+
+def test_problem_workload_is_paper_shaped():
+    wl = problem_workload()
+    assert (wl.image_width, wl.image_height, wl.channels) == (24, 24, 6)
+
+
+# -------------------------------------------------------------- live sessions
+@pytest.mark.slow
+def test_deep_participant_session_succeeds():
+    """PT3's full session against live simulations."""
+    pt3 = next(p for p in PARTICIPANTS if p.code == "PT3")
+    result = run_session(pt3, think_time=0.01)
+    assert result.success
+    assert {"ROB", "RDMA"} <= result.findings.bottlenecks
+    assert result.findings.feature_usage["bottleneck_analyzer"] >= 2
+    assert "different perspective" in result.themes
+    assert result.responses == [5, 5, 5, 5, 5, 5]
+
+
+@pytest.mark.slow
+def test_shallow_participant_learns_but_does_not_succeed():
+    pt1 = next(p for p in PARTICIPANTS if p.code == "PT1")
+    result = run_session(pt1, think_time=0.01)
+    assert not result.success
+    assert "learning tool" in result.themes
+    assert "needs guidance for new users" in result.themes
+    assert result.responses == [4, 4, 3, 4, 3, 3]

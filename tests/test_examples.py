@@ -1,0 +1,81 @@
+"""The examples are part of the public contract: run each as a script
+and check its key output lines, so documentation rot shows up as a
+test failure."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "AkitaRTM dashboard: http://127.0.0.1:" in out
+    assert "Done: completed" in out
+    assert "kernel:fir" in out
+
+
+@pytest.mark.slow
+def test_case_study_im2col():
+    out = _run("case_study_im2col.py")
+    assert "simulation is healthy" in out
+    assert "L1VROB top-port at 8/8" in out
+    assert "ROB transactions" in out
+    assert "network is the root cause" in out
+    assert "matching the paper's finding" in out
+
+
+@pytest.mark.slow
+def test_case_study_hang_debug():
+    out = _run("case_study_hang_debug.py")
+    assert "HANG at t=" in out
+    assert "L2[0].TopPort.Buf" in out
+    assert "blocked on: send fetched data to local storage" in out
+    assert "diagnosis: send fetched data to local storage" in out
+    assert "progress=False" in out
+    assert "completed=True" in out
+
+
+@pytest.mark.slow
+def test_fail_fast():
+    out = _run("fail_fast.py")
+    assert "armed: abort-on-hang policy" in out
+    assert "state=aborted" in out
+    assert "fired: GPU[0].L2[0].top_port.buf >= 16" in out
+    assert "buffers still holding content" in out
+
+
+@pytest.mark.slow
+def test_record_timeseries(tmp_path):
+    import subprocess
+    import sys
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "record_timeseries.py"),
+         str(tmp_path)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert (tmp_path / "figure5_series.csv").is_file()
+    assert (tmp_path / "figure5_series.json").is_file()
+    assert "samples" in result.stdout
+
+
+@pytest.mark.slow
+def test_custom_simulator():
+    out = _run("custom_simulator.py")
+    assert "<-- the slow component's input" in out
+    analyzer_lines = [line for line in out.splitlines()
+                      if "C.In.Buf" in line]
+    assert analyzer_lines and "slow component" in analyzer_lines[0]
+    assert "chain drained: D processed 50000 requests" in out
