@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fault injection & supervision — proving the diagnostics on demand.
+
+Case study 2 in the paper took a real, organically-arising bug to show
+AkitaRTM pinpointing a hang.  This example manufactures that class of
+failure deterministically: a scripted campaign stalls every write
+buffer mid-run, then checks that the monitor reaches the right verdict
+— the hang heuristic fires, the bottleneck table fingers the stalled
+write-buffer intake, and the watchdog (an automated stand-in for the
+human at the dashboard) snapshots diagnostics, attempts a bounded
+tick-based recovery, and aborts cleanly with a structured post-mortem.
+
+A second, benign scenario (extra network latency) shows the other side:
+faults that merely slow the run must NOT trip the hang machinery.
+
+Run:  python examples/fault_injection.py [snapshot_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.watchdog import WatchdogConfig
+from repro.faults import CampaignRunner, slow_network, write_buffer_stall
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+
+def main() -> None:
+    snapshot_dir = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="akitartm-postmortem-"))
+
+    runner = CampaignRunner(
+        platform_factory=lambda: GPUPlatform(
+            GPUPlatformConfig.small(num_chiplets=2)),
+        workload_factory=lambda: FIR(num_samples=4096),
+        wall_timeout=60.0,
+        stall_threshold=0.5,
+        watchdog_config=WatchdogConfig(check_interval=0.1,
+                                       max_tick_retries=2,
+                                       retry_wait=0.2,
+                                       snapshot_dir=str(snapshot_dir)))
+
+    print("=== scenario 1: the case-study-2 hang class, on demand ===")
+    result = runner.run(write_buffer_stall(hang_within=30.0))
+    print(result.summary())
+
+    report = result.watchdog_report or {}
+    print(f"\nwatchdog verdict: {report.get('verdict')} after "
+          f"{report.get('recovery_attempts')} tick retries")
+    for row in report.get("stuck_buffers", [])[:5]:
+        print(f"  stalled buffer: {row['buffer']} "
+              f"({row['size']}/{row['capacity']})")
+    print(f"  suspects: {', '.join(report.get('suspects', [])[:4])}")
+    print(f"  post-mortem on disk: {report.get('postmortem_path')}")
+
+    print("\n=== scenario 2: benign fault — slower, but no hang ===")
+    benign = runner.run(slow_network(delay_cycles=20))
+    print(benign.summary())
+
+    both = result.passed and benign.passed
+    print(f"\ncampaign verdict: "
+          f"{'ALL PASS' if both else 'FAILURES'} — the monitor's "
+          f"diagnostics hold against induced failures")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ layer AkitaRTM (``repro.core``) hooks into.  Key concepts:
 
 from .buffer import Buffer
 from .component import Component, TickingComponent
-from .connection import Connection, DirectConnection
+from .connection import Connection, DirectConnection, Transfer
 from .engine import Engine, RunState
 from .errors import (
     BufferError_,
@@ -60,6 +60,7 @@ __all__ = [
     "Simulation",
     "TickEvent",
     "TickingComponent",
+    "Transfer",
     "VTimeInSec",
     "BufferError_",
     "ConfigurationError",

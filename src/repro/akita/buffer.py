@@ -34,6 +34,7 @@ class Buffer:
         self.name = name
         self._capacity = int(capacity)
         self._items: Deque[Any] = deque()
+        self._pinned = False
 
     # -- capacity queries ------------------------------------------------
     @property
@@ -52,15 +53,42 @@ class Buffer:
 
     @property
     def fullness(self) -> float:
-        """Occupancy in [0, 1]; the analyzer's *percent* sort key."""
+        """Occupancy in [0, 1]; the analyzer's *percent* sort key.
+
+        A pinned buffer reports 1.0 — it is at capacity by decree, and
+        the bottleneck analyzer should finger it exactly as if real
+        traffic had filled it.
+        """
+        if self._pinned:
+            return 1.0
         return len(self._items) / self._capacity
 
     def can_push(self) -> bool:
-        return len(self._items) < self._capacity
+        return not self._pinned and len(self._items) < self._capacity
 
     @property
     def free_slots(self) -> int:
+        if self._pinned:
+            return 0
         return self._capacity - len(self._items)
+
+    # -- fault injection ---------------------------------------------------
+    @property
+    def pinned(self) -> bool:
+        """True while a fault injector holds this buffer at capacity."""
+        return self._pinned
+
+    def pin(self, pinned: bool = True) -> None:
+        """Force the buffer to report itself full (``pinned=True``) so
+        every sender sees permanent backpressure, or release it.
+
+        Pinning acts at the flow-control level only (:meth:`can_push`,
+        :attr:`free_slots`): new admissions are refused, but messages
+        whose slot was reserved before the pin still land, and queued
+        items may still be popped.  This is how the fault injector
+        freezes a component's intake without corrupting in-flight
+        traffic."""
+        self._pinned = bool(pinned)
 
     # -- mutation ---------------------------------------------------------
     def push(self, item: Any) -> None:

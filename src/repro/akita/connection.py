@@ -14,11 +14,13 @@ err on the side of waking.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Protocol, runtime_checkable
 
 from .engine import Engine
 from .errors import PortError
 from .event import CallbackEvent
+from .hooks import Hookable, HookCtx, HookPos
 from .message import Msg
 from .port import Port
 
@@ -36,7 +38,22 @@ class Connection(Protocol):
     def notify_available(self, port: Port) -> None: ...
 
 
-class DirectConnection:
+@dataclass
+class Transfer:
+    """The mutable delivery plan handed to ``CONN_TRANSFER`` hooks.
+
+    A hook (e.g. a fault injector) may set :attr:`drop` to make the
+    message vanish in transit, or move :attr:`deliver_at` later to model
+    link-level delay.  When no hooks are attached the plan is never even
+    constructed, so the un-faulted send path pays nothing.
+    """
+
+    msg: Msg
+    deliver_at: float
+    drop: bool = False
+
+
+class DirectConnection(Hookable):
     """Fixed-latency link between a set of ports.
 
     Parameters
@@ -51,12 +68,14 @@ class DirectConnection:
     """
 
     def __init__(self, name: str, engine: Engine, latency: float = 1e-9):
+        super().__init__()
         self.name = name
         self._engine = engine
         self._latency = float(latency)
         self._ports: List[Port] = []
         self._inflight: Dict[Port, int] = {}
         self.msg_count = 0  # total messages transported (observable)
+        self.dropped_count = 0  # messages lost to injected faults
 
     @property
     def latency(self) -> float:
@@ -88,6 +107,21 @@ class DirectConnection:
         msg.send_time = self._engine.now
         self.msg_count += 1
         deliver_at = self._engine.now + self._latency
+
+        if self._hooks:
+            transfer = Transfer(msg, deliver_at)
+            self.invoke_hooks(HookCtx(self, self._engine.now,
+                                      HookPos.CONN_TRANSFER, transfer))
+            if transfer.drop:
+                # The message vanishes in transit: release the reserved
+                # slot and wake senders that were blocked on it.  The
+                # sender still counted it as sent — exactly the view a
+                # component has of a lossy link.
+                self._inflight[dst] -= 1
+                self.dropped_count += 1
+                self.notify_available(dst)
+                return
+            deliver_at = max(transfer.deliver_at, self._engine.now)
 
         def _deliver(_event: CallbackEvent, msg: Msg = msg) -> None:
             self._inflight[msg.dst] -= 1

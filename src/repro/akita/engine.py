@@ -174,12 +174,16 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
-            self.invoke_hooks(
-                HookCtx(self, self._now, HookPos.BEFORE_EVENT, event))
+            if self._hooks:
+                ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT, event)
+                self.invoke_hooks(ctx)
+                if ctx.skip:
+                    continue
             event.handler.handle(event)
             self._event_count += 1
-            self.invoke_hooks(
-                HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+            if self._hooks:
+                self.invoke_hooks(
+                    HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
             if self._throttle_delay:
                 time.sleep(self._throttle_delay)
         if self._terminated:
@@ -202,11 +206,15 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
-            self.invoke_hooks(
-                HookCtx(self, self._now, HookPos.BEFORE_EVENT, event))
+            if self._hooks:
+                ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT, event)
+                self.invoke_hooks(ctx)
+                if ctx.skip:
+                    continue
             event.handler.handle(event)
             self._event_count += 1
-            self.invoke_hooks(
-                HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+            if self._hooks:
+                self.invoke_hooks(
+                    HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
         self._now = max(self._now, t)
         self._state = RunState.DRY

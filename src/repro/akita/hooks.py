@@ -25,6 +25,7 @@ class HookPos(enum.Enum):
     ENGINE_CONTINUE = "engine_continue"
     ENGINE_DRY = "engine_dry"  # queue ran empty
     ENGINE_END = "engine_end"
+    CONN_TRANSFER = "conn_transfer"  # a connection accepted a message
 
 
 @dataclass
@@ -41,12 +42,19 @@ class HookCtx:
         Where in the processing flow the hook fired.
     item:
         The subject of the hook (usually the event being processed).
+    skip:
+        A ``BEFORE_EVENT`` hook may set this to suppress the event: the
+        engine discards it without calling its handler.  This is the
+        primitive fault injection uses to stall a component's tick
+        handler without modifying the component.  Ignored at every
+        other position.
     """
 
     domain: Any
     now: float
     pos: HookPos
     item: Any = None
+    skip: bool = False
 
 
 Hook = Callable[[HookCtx], None]

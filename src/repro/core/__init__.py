@@ -37,6 +37,7 @@ from .progress import ProgressBar
 from .resources import ResourceMonitor, ResourceSample
 from .server import RTMServer
 from .timeseries import HISTORY, MAX_WATCHES, ValueMonitor, ValueWatch
+from .watchdog import Watchdog, WatchdogConfig
 
 __all__ = [
     "AlertManager",
@@ -61,6 +62,8 @@ __all__ = [
     "SamplingProfiler",
     "ValueMonitor",
     "ValueWatch",
+    "Watchdog",
+    "WatchdogConfig",
     "discover_buffers",
     "export_watches_csv",
     "numeric_value",

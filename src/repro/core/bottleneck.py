@@ -25,9 +25,12 @@ class BufferRow:
     name: str
     size: int
     capacity: int
+    pinned: bool = False  # held at capacity by a fault injector
 
     @property
     def percent(self) -> float:
+        if self.pinned:
+            return 1.0
         return self.size / self.capacity if self.capacity else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
@@ -76,9 +79,11 @@ class BufferAnalyzer:
         """
         if sort not in SORT_KEYS:
             raise ValueError(f"sort must be one of {SORT_KEYS}")
-        rows = [BufferRow(b.name, b.size, b.capacity)
+        rows = [BufferRow(b.name, b.size, b.capacity,
+                          getattr(b, "pinned", False))
                 for b in self._buffers
-                if include_empty or b.size > 0]
+                if include_empty or b.size > 0
+                or getattr(b, "pinned", False)]
         key = (lambda r: (r.percent, r.size)) if sort == "percent" \
             else (lambda r: (r.size, r.percent))
         rows.sort(key=key, reverse=True)

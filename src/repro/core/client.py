@@ -4,11 +4,18 @@ Used by the test suite, the Figure 7 benchmark harness (scenario 4's
 "automated clicks at one-second intervals" are issued through this
 client), and the simulated user study, whose participant agents interact
 with the monitor exactly the way the web frontend does — over HTTP.
+
+GET requests are idempotent, so transient transport failures (connection
+refused during server start-up, socket timeouts while the simulation
+thread hogs the GIL) are retried with exponential backoff and jitter up
+to ``max_retries`` times.  POST/DELETE are never retried — a timed-out
+control request may still have been applied.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Any, Dict, List, Optional
 from urllib.error import HTTPError, URLError
@@ -21,11 +28,32 @@ class RTMClientError(RuntimeError):
 
 
 class RTMClient:
-    """Thin wrapper over the REST endpoints."""
+    """Thin wrapper over the REST endpoints.
 
-    def __init__(self, url: str, timeout: float = 5.0):
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    max_retries:
+        How many times an idempotent GET is retried after a transient
+        transport error (0 disables retries).  HTTP error statuses
+        (4xx/5xx) are server verdicts, not transport failures, and are
+        never retried.
+    backoff:
+        Initial retry delay in seconds; doubles per attempt, with up to
+        50% uniform jitter added to avoid retry stampedes.
+    """
+
+    def __init__(self, url: str, timeout: float = 5.0,
+                 max_retries: int = 3, backoff: float = 0.05):
         self.base = url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.retry_count = 0  # total transient retries, for tests/stats
+        self._sleep = time.sleep  # injectable for tests
 
     # -- transport ---------------------------------------------------------
     def _call(self, method: str, endpoint: str,
@@ -33,6 +61,22 @@ class RTMClient:
         url = f"{self.base}{endpoint}"
         if params:
             url += "?" + urlencode(params)
+        attempts = 1 + (self.max_retries if method == "GET" else 0)
+        for attempt in range(attempts):
+            try:
+                return self._request(method, endpoint, url)
+            except RTMClientError:
+                raise  # server verdict (HTTP status) — never retry
+            except (URLError, TimeoutError, ConnectionError) as exc:
+                if attempt == attempts - 1:
+                    raise RTMClientError(
+                        f"{method} {endpoint}: {exc} "
+                        f"(after {attempt + 1} attempts)") from exc
+                self.retry_count += 1
+                delay = self.backoff * (2 ** attempt)
+                self._sleep(delay * (1.0 + random.uniform(0.0, 0.5)))
+
+    def _request(self, method: str, endpoint: str, url: str) -> Any:
         request = Request(url, method=method)
         try:
             with urlopen(request, timeout=self.timeout) as response:
@@ -44,8 +88,6 @@ class RTMClient:
                 detail = ""
             raise RTMClientError(
                 f"{method} {endpoint} -> {exc.code}: {detail}") from exc
-        except URLError as exc:
-            raise RTMClientError(f"{method} {endpoint}: {exc}") from exc
 
     def _get(self, endpoint: str, **params) -> Any:
         return self._call("GET", endpoint, params or None)
@@ -108,6 +150,31 @@ class RTMClient:
     def remove_alert(self, rule_id: int) -> bool:
         return self._call("DELETE", "/api/alert",
                           {"id": rule_id})["removed"]
+
+    # -- fault injection & supervision --------------------------------------
+    def faults(self) -> Dict[str, Any]:
+        return self._get("/api/faults")
+
+    def inject_fault(self, kind: str, target: str,
+                     **params) -> Dict[str, Any]:
+        """Arm a fault (kind: drop/delay/stall/pin_buffer/kill_port);
+        extra keywords (start, end, probability, delay, seed) pass
+        through to the spec."""
+        return self._post("/api/faults", kind=kind, target=target,
+                          **params)
+
+    def revoke_fault(self, spec_id: int) -> bool:
+        return self._call("DELETE", "/api/faults",
+                          {"id": spec_id})["removed"]
+
+    def watchdog(self) -> Dict[str, Any]:
+        return self._get("/api/watchdog")
+
+    def watchdog_start(self, **config) -> Dict[str, Any]:
+        return self._post("/api/watchdog", action="start", **config)
+
+    def watchdog_stop(self) -> Dict[str, Any]:
+        return self._post("/api/watchdog", action="stop")
 
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:

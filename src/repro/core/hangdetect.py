@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .bottleneck import BufferAnalyzer, BufferRow
 
@@ -50,7 +50,8 @@ class HangDetector:
 
     def __init__(self, simulation, analyzer: BufferAnalyzer,
                  stall_threshold: float = 2.0,
-                 cpu_threshold: float = 50.0):
+                 cpu_threshold: float = 50.0,
+                 clock: Callable[[], float] = time.monotonic):
         """
         Parameters
         ----------
@@ -64,17 +65,23 @@ class HangDetector:
         cpu_threshold:
             CPU% below which a stall is corroborated (an engine that is
             busy computing but not advancing time is *slow*, not hung).
+        clock:
+            Wall-clock source.  Must be monotonic — ``time.monotonic``
+            by default, never ``time.time``, whose NTP/DST jumps would
+            fake or mask stalls.  Injectable so tests can simulate the
+            passage of wall time deterministically.
         """
         self.simulation = simulation
         self.analyzer = analyzer
         self.stall_threshold = stall_threshold
         self.cpu_threshold = cpu_threshold
+        self.clock = clock
         # (wall, sim_time) history; a couple hundred points suffice.
         self._history: Deque[Tuple[float, float]] = deque(maxlen=512)
 
     def record(self, cpu_percent: float = 0.0) -> None:
         """Append a snapshot (called by the monitor's sampler thread)."""
-        self._history.append((time.monotonic(),
+        self._history.append((self.clock(),
                               self.simulation.engine.now))
         self._last_cpu = cpu_percent
 

@@ -65,6 +65,8 @@ class Monitor:
         self._abort_on_hang = False
         self.resources: Optional[ResourceMonitor] = None
         self.hang: Optional[HangDetector] = None
+        self.injector = None  # set by attach_injector / ensure_injector
+        self.watchdog = None  # set by attach_watchdog / enable_watchdog
         self._server = None  # set by start_server
         self._driver = None
         self.sample_interval = sample_interval
@@ -104,6 +106,42 @@ class Monitor:
         """Auto-create the default progress bars: kernel block progress
         and memcopy byte progress (paper §IV-A)."""
         self._driver = driver
+
+    # ------------------------------------------------------------------
+    # Fault injection & supervision
+    # ------------------------------------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Expose *injector* over ``/api/faults`` and in diagnostics."""
+        self.injector = injector
+
+    def ensure_injector(self, seed: int = 0):
+        """Return the attached injector, creating one on first use.
+
+        Imported lazily so simulations that never inject faults never
+        load the faults package."""
+        if self.injector is None:
+            if self._simulation is None:
+                raise RuntimeError(
+                    "fault injection needs a registered simulation")
+            from ..faults.injector import FaultInjector
+            self.injector = FaultInjector(self._simulation, seed=seed)
+        return self.injector
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Expose *watchdog* over ``/api/watchdog``; replaces (and
+        stops) any previous one."""
+        if self.watchdog is not None and self.watchdog is not watchdog:
+            self.watchdog.stop()
+        self.watchdog = watchdog
+
+    def enable_watchdog(self, **config):
+        """Create, attach and start a :class:`~repro.core.watchdog.
+        Watchdog`; keyword arguments populate its
+        :class:`~repro.core.watchdog.WatchdogConfig`."""
+        from .watchdog import Watchdog, WatchdogConfig
+        self.attach_watchdog(Watchdog(self, WatchdogConfig(**config)))
+        self.watchdog.start()
+        return self.watchdog
 
     # ------------------------------------------------------------------
     # Progress bars (Go API #3, #4, #5)
@@ -346,6 +384,8 @@ class Monitor:
             self._server.stop()
             self._server = None
         self.stop_sampler()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         if self.profiler.running:
             self.profiler.stop()
 

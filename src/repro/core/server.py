@@ -26,6 +26,11 @@ GET      /api/throughput?component=N     per-port message counts (§VIII)
 GET      /api/alerts                     alert rules + firing state
 POST     /api/alert?component&path&...   add a fail-fast alert rule
 DELETE   /api/alert?id=I                 remove an alert rule
+GET      /api/faults                     armed fault specs + stats
+POST     /api/faults?kind&target&...     arm a fault (drop/delay/stall...)
+DELETE   /api/faults?id=I                disarm a fault
+GET      /api/watchdog                   supervision state + post-mortem
+POST     /api/watchdog?action=start|stop control the watchdog
 GET      /api/profile?top=K              profiler report (T4)
 POST     /api/profile/start|stop         control the profiler
 POST     /api/pause | /api/continue      simulation control
@@ -41,6 +46,10 @@ Requests are served from dedicated threads; the monitor performs all
 work on demand, serializing one component or value per request (§VII's
 low-overhead design choices 1 and 2), in a thread parallel to the
 simulation thread (choice 3).
+
+Status-code discipline: 400 for malformed or missing query parameters,
+404 for unknown component/alert/watch/fault ids, 500 only for genuine
+handler bugs (the final ``except Exception`` backstop).
 """
 
 from __future__ import annotations
@@ -61,6 +70,30 @@ _CONTENT_TYPES = {
     ".svg": "image/svg+xml",
     ".json": "application/json",
 }
+
+
+class _BadRequest(Exception):
+    """A malformed query parameter; mapped to HTTP 400."""
+
+
+def _int_param(params: Dict[str, str], key: str, default: int) -> int:
+    try:
+        return int(params.get(key, default))
+    except (TypeError, ValueError):
+        raise _BadRequest(f"parameter {key!r} must be an integer, "
+                          f"got {params.get(key)!r}") from None
+
+
+def _float_param(params: Dict[str, str], key: str,
+                 default: Optional[float] = None) -> Optional[float]:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except (TypeError, ValueError):
+        raise _BadRequest(f"parameter {key!r} must be a number, "
+                          f"got {raw!r}") from None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -132,16 +165,37 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_value(params)
             elif path == "/api/buffers":
                 sort = params.get("sort", "percent")
-                top = int(params.get("top", "50"))
-                rows = monitor.analyzer.snapshot(sort=sort, top=top)
+                top = _int_param(params, "top", 50)
+                try:
+                    rows = monitor.analyzer.snapshot(sort=sort, top=top)
+                except ValueError as exc:
+                    raise _BadRequest(str(exc)) from None
                 self._send_json({"buffers": [r.to_dict() for r in rows]})
             elif path == "/api/progress":
                 self._send_json({"bars": [b.to_dict()
                                           for b in monitor.progress_bars()]})
             elif path == "/api/hang":
-                self._send_json(monitor.hang_status().to_dict())
+                if monitor.hang is None:
+                    self._send_error_json(
+                        "hang detection needs a registered simulation",
+                        400)
+                else:
+                    self._send_json(monitor.hang_status().to_dict())
+            elif path == "/api/faults":
+                injector = monitor.injector
+                self._send_json({
+                    "armed": injector is not None,
+                    "faults": injector.to_dict() if injector else [],
+                    "stats": injector.stats() if injector else {},
+                })
+            elif path == "/api/watchdog":
+                watchdog = monitor.watchdog
+                self._send_json({
+                    "enabled": watchdog is not None,
+                    **(watchdog.to_dict() if watchdog else {}),
+                })
             elif path == "/api/profile":
-                top = int(params.get("top", "15"))
+                top = _int_param(params, "top", 15)
                 report = monitor.profiler.report(top)
                 payload = report.to_dict()
                 payload["running"] = monitor.profiler.running
@@ -163,6 +217,8 @@ class _Handler(BaseHTTPRequestHandler):
                         {"ports": monitor.port_throughput(name)})
             else:
                 self._serve_static(path)
+        except _BadRequest as exc:
+            self._send_error_json(str(exc), 400)
         except Exception as exc:  # surface handler bugs to the client
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
 
@@ -198,7 +254,7 @@ class _Handler(BaseHTTPRequestHandler):
                 monitor.kick_start()
                 self._send_json({"ok": True})
             elif path == "/api/throttle":
-                eps = float(params.get("events_per_second", "0"))
+                eps = _float_param(params, "events_per_second", 0.0)
                 monitor.set_throttle(eps)
                 self._send_json({"events_per_second": eps})
             elif path == "/api/tick":
@@ -235,31 +291,115 @@ class _Handler(BaseHTTPRequestHandler):
                     rule = monitor.add_alert(
                         name, params.get("path", ""),
                         params.get("op", ">="),
-                        float(params.get("threshold", "0")),
-                        float(params.get("duration", "0")),
+                        _float_param(params, "threshold", 0.0),
+                        _float_param(params, "duration", 0.0),
                         params.get("action", "notify"))
                 except ValueError as exc:
                     self._send_error_json(str(exc), 400)
                     return
                 self._send_json({"id": rule.id, "label": rule.label})
+            elif path == "/api/faults":
+                self._post_fault(params)
+            elif path == "/api/watchdog":
+                self._post_watchdog(params)
             else:
                 self._send_error_json("not found", 404)
+        except _BadRequest as exc:
+            self._send_error_json(str(exc), 400)
         except Exception as exc:
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+
+    def _post_fault(self, params: Dict[str, str]) -> None:
+        """Arm one fault: ``kind`` + ``target`` are required."""
+        from ..faults.injector import FaultKind, FaultSpec
+        monitor = self.monitor
+        kind = params.get("kind", "")
+        target = params.get("target", "")
+        if kind not in [k.value for k in FaultKind]:
+            raise _BadRequest(
+                f"kind must be one of "
+                f"{sorted(k.value for k in FaultKind)}, got {kind!r}")
+        if not target:
+            raise _BadRequest("parameter 'target' is required")
+        try:
+            injector = monitor.ensure_injector(
+                seed=_int_param(params, "seed", 0))
+        except RuntimeError as exc:
+            raise _BadRequest(str(exc)) from None
+        try:
+            spec = injector.inject(FaultSpec(
+                FaultKind(kind), target,
+                start=_float_param(params, "start", 0.0),
+                end=_float_param(params, "end"),
+                probability=_float_param(params, "probability", 1.0),
+                delay=_float_param(params, "delay", 0.0)))
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        self._send_json(spec.to_dict())
+
+    def _post_watchdog(self, params: Dict[str, str]) -> None:
+        monitor = self.monitor
+        action = params.get("action", "")
+        if action == "start":
+            config = {}
+            for key in ("check_interval", "retry_wait"):
+                if key in params:
+                    config[key] = _float_param(params, key)
+            for key in ("max_tick_retries", "max_suspects"):
+                if key in params:
+                    config[key] = _int_param(params, key, 0)
+            for key in ("recover", "abort_on_failure"):
+                if key in params:
+                    config[key] = params[key].lower() not in (
+                        "0", "false", "no")
+            if "snapshot_dir" in params:
+                config["snapshot_dir"] = params["snapshot_dir"]
+            watchdog = monitor.enable_watchdog(**config)
+            self._send_json(watchdog.to_dict())
+        elif action == "stop":
+            if monitor.watchdog is None:
+                self._send_error_json("no watchdog attached", 404)
+                return
+            monitor.watchdog.stop()
+            self._send_json(monitor.watchdog.to_dict())
+        else:
+            raise _BadRequest(
+                f"action must be 'start' or 'stop', got {action!r}")
 
     # -- DELETE -------------------------------------------------------------
     def do_DELETE(self) -> None:  # noqa: N802
         path, params = self._query()
-        if path == "/api/watch":
-            watch_id = int(params.get("id", "0"))
-            removed = self.monitor.values.unwatch(watch_id)
-            self._send_json({"removed": removed})
-        elif path == "/api/alert":
-            rule_id = int(params.get("id", "0"))
-            removed = self.monitor.alerts.remove(rule_id)
-            self._send_json({"removed": removed})
-        else:
-            self._send_error_json("not found", 404)
+        try:
+            if path == "/api/watch":
+                watch_id = _int_param(params, "id", 0)
+                removed = self.monitor.values.unwatch(watch_id)
+                if not removed:
+                    self._send_error_json(f"unknown watch id {watch_id}",
+                                          404)
+                    return
+                self._send_json({"removed": True})
+            elif path == "/api/alert":
+                rule_id = _int_param(params, "id", 0)
+                removed = self.monitor.alerts.remove(rule_id)
+                if not removed:
+                    self._send_error_json(f"unknown alert id {rule_id}",
+                                          404)
+                    return
+                self._send_json({"removed": True})
+            elif path == "/api/faults":
+                spec_id = _int_param(params, "id", 0)
+                injector = self.monitor.injector
+                if injector is None or not injector.revoke(spec_id):
+                    self._send_error_json(f"unknown fault id {spec_id}",
+                                          404)
+                    return
+                self._send_json({"removed": True})
+            else:
+                self._send_error_json("not found", 404)
+        except _BadRequest as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:
+            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
 
 
 class RTMServer:

@@ -1,0 +1,248 @@
+"""The simulation watchdog: supervision on top of hang detection.
+
+The paper keeps a human in the loop — the dashboard shows the hang, the
+user clicks *Tick* and *Kick Start*, reads the buffer table, and decides
+what to do.  :class:`Watchdog` automates that session so an unattended
+run (CI, a batch farm) degrades gracefully instead of silently wedging:
+
+1. **Confirm** — poll the :class:`~repro.core.hangdetect.HangDetector`
+   until it returns a hang verdict.
+2. **Snapshot** — persist the diagnostic state a human would have
+   looked at (non-empty buffers, progress bars, profiler top-K,
+   overview) to a JSON file.
+3. **Recover** — automate the paper's *Tick* button: wake the suspect
+   components (owners of the stuck buffers) and kick-start the run
+   loop, a bounded number of times.
+4. **Abort** — if the hang survives every retry, terminate the
+   simulation cleanly and leave a structured post-mortem report naming
+   the stalled buffers, instead of hanging forever.
+
+The watchdog runs on its own daemon thread and talks to the simulation
+only through the monitor's thread-safe surface.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class WatchdogConfig:
+    """Tunables for one :class:`Watchdog`."""
+
+    #: Seconds between hang checks while everything is healthy.
+    check_interval: float = 0.25
+    #: Automated *Tick* retries before giving up on recovery.
+    max_tick_retries: int = 3
+    #: Wall seconds to wait after each retry for progress to resume.
+    retry_wait: float = 0.5
+    #: Where diagnostic snapshots / post-mortems are written
+    #: (``None`` = keep them in memory only).
+    snapshot_dir: Optional[str] = None
+    #: Attempt tick-based recovery before aborting.
+    recover: bool = True
+    #: Abort the simulation when recovery fails (or is disabled).
+    abort_on_failure: bool = True
+    #: How many suspect components to wake per retry.
+    max_suspects: int = 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "check_interval": self.check_interval,
+            "max_tick_retries": self.max_tick_retries,
+            "retry_wait": self.retry_wait,
+            "snapshot_dir": self.snapshot_dir,
+            "recover": self.recover,
+            "abort_on_failure": self.abort_on_failure,
+            "max_suspects": self.max_suspects,
+        }
+
+
+class Watchdog:
+    """Supervises one monitored simulation (see module docstring)."""
+
+    #: Lifecycle states, in the order they normally occur.
+    STATES = ("idle", "watching", "recovering", "recovered", "aborted",
+              "failed", "stopped")
+
+    def __init__(self, monitor, config: Optional[WatchdogConfig] = None):
+        self.monitor = monitor
+        self.config = config or WatchdogConfig()
+        self.state = "idle"
+        self.report: Optional[Dict[str, Any]] = None
+        self.hang_count = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start supervising (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self.state = "watching"
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="rtm-watchdog")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop supervising.  Does not touch the simulation."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.state == "watching":
+            self.state = "stopped"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "running": self.running,
+            "hang_count": self.hang_count,
+            "config": self.config.to_dict(),
+            "report": self.report,
+        }
+
+    # ------------------------------------------------------------------
+    # The supervision loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.config.check_interval):
+            try:
+                status = self.monitor.hang_status()
+            except RuntimeError:
+                continue  # no simulation registered yet
+            if not status.hung:
+                continue
+            self.hang_count += 1
+            self._handle_hang(status)
+            if self.state in ("aborted", "failed"):
+                return  # nothing left to supervise
+
+    def _handle_hang(self, status) -> None:
+        detected_wall = time.monotonic()
+        snapshot = self._diagnostic_snapshot(status)
+        snapshot_path = self._persist(snapshot, "watchdog_snapshot")
+
+        attempts = 0
+        recovered = False
+        if self.config.recover:
+            self.state = "recovering"
+            recovered, attempts = self._try_recover(status)
+
+        verdict = "recovered" if recovered else (
+            "aborted" if self.config.abort_on_failure else "failed")
+        self.report = {
+            "verdict": verdict,
+            "sim_time": status.sim_time,
+            "stalled_wall_seconds": status.stalled_wall_seconds,
+            "stuck_buffers": [b.to_dict() for b in status.stuck_buffers],
+            "suspects": self._suspects(status),
+            "recovery_attempts": attempts,
+            "recovery_wall_seconds": round(
+                time.monotonic() - detected_wall, 3),
+            "snapshot_path": snapshot_path,
+        }
+        if recovered:
+            self.state = "recovered"
+            self.report["postmortem_path"] = self._persist(
+                self.report, "watchdog_recovery")
+            return
+        self.report["postmortem_path"] = self._persist(
+            self.report, "watchdog_postmortem")
+        if self.config.abort_on_failure:
+            self.state = "aborted"
+            simulation = getattr(self.monitor, "_simulation", None)
+            if simulation is not None:
+                simulation.abort()
+        else:
+            self.state = "failed"
+
+    # -- recovery -------------------------------------------------------
+    def _try_recover(self, status) -> tuple:
+        """Automated *Tick* + *Kick Start* with bounded retries.
+
+        Returns ``(recovered, attempts_used)``.
+        """
+        suspects = self._suspects(status)
+        attempts = 0
+        for attempt in range(self.config.max_tick_retries):
+            if self._stop.is_set():
+                break
+            attempts = attempt + 1
+            for name in suspects:
+                self.monitor.tick_component(name)
+            self.monitor.kick_start()
+            if self._stop.wait(self.config.retry_wait):
+                break
+            try:
+                status = self.monitor.hang_status()
+            except RuntimeError:
+                break
+            if not status.hung:
+                return True, attempts
+        return False, attempts
+
+    def _suspects(self, status) -> List[str]:
+        """Components owning the stuck buffers, most loaded first.
+
+        A buffer ``GPU[0].L2[1].TopPort.Buf`` belongs to the registered
+        component whose name is its longest prefix (``GPU[0].L2[1]``).
+        """
+        names = self.monitor.component_names()
+        ranked: List[str] = []
+        for row in status.stuck_buffers:
+            owner = ""
+            for name in names:
+                if row.name.startswith(name + ".") and \
+                        len(name) > len(owner):
+                    owner = name
+            if owner and owner not in ranked:
+                ranked.append(owner)
+            if len(ranked) >= self.config.max_suspects:
+                break
+        return ranked
+
+    # -- diagnostics ----------------------------------------------------
+    def _diagnostic_snapshot(self, status) -> Dict[str, Any]:
+        """Everything a human would have read off the dashboard."""
+        monitor = self.monitor
+        snapshot: Dict[str, Any] = {
+            "hang": status.to_dict(),
+            "overview": monitor.overview(),
+            "progress": [bar.to_dict() for bar in monitor.progress_bars()],
+        }
+        profiler = getattr(monitor, "profiler", None)
+        if profiler is not None:
+            profile = profiler.report(10)
+            if profile.samples:
+                snapshot["profiler_top"] = [
+                    f.to_dict() for f in profile.functions]
+        injector = getattr(monitor, "injector", None)
+        if injector is not None:
+            snapshot["faults"] = injector.to_dict()
+        return snapshot
+
+    def _persist(self, payload: Dict[str, Any],
+                 stem: str) -> Optional[str]:
+        if self.config.snapshot_dir is None:
+            return None
+        directory = Path(self.config.snapshot_dir)
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{stem}_{self.hang_count}.json"
+            path.write_text(json.dumps(payload, indent=2, default=str))
+            return str(path)
+        except OSError:
+            return None  # diagnostics must never take the run down

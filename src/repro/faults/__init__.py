@@ -1,0 +1,56 @@
+"""``repro.faults`` — deterministic fault injection and campaigns.
+
+The diagnostics layer (``repro.core``) can only be trusted if it is
+exercised against the failures it claims to catch.  This package
+induces those failures on demand, entirely through framework hooks:
+
+* :class:`FaultInjector` / :class:`FaultSpec` — drop, delay, stall,
+  pin and kill primitives with seeded determinism, component-name
+  patterns and virtual-time windows.
+* :class:`FaultScenario` / :class:`Expectation` — declarative
+  (fault, expected-verdict) bundles, with a prebuilt :data:`LIBRARY`
+  that reproduces the paper's case-study failure classes.
+* :class:`CampaignRunner` / :class:`CampaignResult` — executes
+  scenarios against workloads and asserts the monitor's verdict, under
+  :class:`~repro.core.watchdog.Watchdog` supervision so nothing ever
+  wedges CI.
+
+Typical usage::
+
+    from repro.faults import CampaignRunner, write_buffer_stall
+    from repro.gpu import GPUPlatform
+    from repro.workloads import FIR
+
+    runner = CampaignRunner(GPUPlatform, FIR)
+    result = runner.run(write_buffer_stall())
+    print(result.summary())
+"""
+
+from .campaign import CampaignResult, CampaignRunner
+from .injector import FaultInjector, FaultKind, FaultSpec
+from .scenarios import (
+    LIBRARY,
+    Expectation,
+    FaultScenario,
+    cycles,
+    l2_intake_pinned,
+    rdma_message_loss,
+    slow_network,
+    write_buffer_stall,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "Expectation",
+    "FaultInjector",
+    "FaultKind",
+    "FaultScenario",
+    "FaultSpec",
+    "LIBRARY",
+    "cycles",
+    "l2_intake_pinned",
+    "rdma_message_loss",
+    "slow_network",
+    "write_buffer_stall",
+]

@@ -1,0 +1,224 @@
+"""The fault-injection campaign runner.
+
+A *campaign* executes :class:`~repro.faults.scenarios.FaultScenario`
+objects against a workload and checks that AkitaRTM reaches the
+expected verdict — hang flagged within a wall-time bound, the right
+buffer fingered, alerts fired, or (for benign faults) the run still
+completing.  It is how this repository proves the monitor's diagnostics
+against *induced* failures instead of waiting for organic bugs.
+
+The runner drives everything through the same surfaces a user would:
+the :class:`~repro.core.monitor.Monitor` plugin API and (indirectly)
+the :class:`~repro.core.watchdog.Watchdog`, which snapshots
+diagnostics, retries the automated *Tick* button, and cleanly aborts
+hung runs so a campaign can never wedge CI.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.monitor import Monitor
+from ..core.watchdog import Watchdog, WatchdogConfig
+from .injector import FaultInjector
+from .scenarios import FaultScenario
+
+
+@dataclass
+class CampaignResult:
+    """The outcome of one scenario run."""
+
+    scenario: str
+    passed: bool
+    #: check name -> {"expected": ..., "observed": ..., "ok": bool}
+    verdicts: Dict[str, Dict[str, Any]]
+    elapsed_wall: float
+    completed: bool
+    final_state: str
+    fault_stats: Dict[str, Any] = field(default_factory=dict)
+    watchdog_report: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "passed": self.passed,
+            "verdicts": self.verdicts,
+            "elapsed_wall": round(self.elapsed_wall, 3),
+            "completed": self.completed,
+            "final_state": self.final_state,
+            "fault_stats": self.fault_stats,
+            "watchdog_report": self.watchdog_report,
+        }
+
+    def summary(self) -> str:
+        """A terse human-readable verdict table."""
+        lines = [f"[{'PASS' if self.passed else 'FAIL'}] "
+                 f"{self.scenario} ({self.elapsed_wall:.1f}s wall, "
+                 f"final state: {self.final_state})"]
+        for check, verdict in self.verdicts.items():
+            mark = "ok" if verdict["ok"] else "FAIL"
+            lines.append(f"  {check:16s} {mark:4s} "
+                         f"expected={verdict['expected']!r} "
+                         f"observed={verdict['observed']!r}")
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Runs scenarios against freshly-built platforms.
+
+    Parameters
+    ----------
+    platform_factory:
+        Zero-argument callable building a platform object exposing
+        ``simulation``, ``driver`` and ``run(hang_wait=...)`` (a
+        :class:`~repro.gpu.platform.GPUPlatform` fits).
+    workload_factory:
+        Zero-argument callable returning a workload with an
+        ``enqueue(driver)`` method, or ``None`` for pre-loaded
+        platforms.
+    wall_timeout:
+        Hard wall-clock bound per scenario; the runner aborts the
+        simulation when it trips, so a campaign can never hang.
+    stall_threshold:
+        Passed through to the hang detector (small values make
+        campaigns snappy; the default mirrors interactive use).
+    watchdog_config:
+        Supervision settings; by default the watchdog snapshots, tries
+        bounded recovery, and aborts on failure.
+    """
+
+    def __init__(self, platform_factory: Callable[[], Any],
+                 workload_factory: Optional[Callable[[], Any]] = None,
+                 wall_timeout: float = 60.0,
+                 stall_threshold: float = 2.0,
+                 watchdog_config: Optional[WatchdogConfig] = None,
+                 poll_interval: float = 0.05):
+        self.platform_factory = platform_factory
+        self.workload_factory = workload_factory
+        self.wall_timeout = wall_timeout
+        self.stall_threshold = stall_threshold
+        self.watchdog_config = watchdog_config
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: FaultScenario) -> CampaignResult:
+        """Execute one scenario and evaluate its expectation."""
+        platform = self.platform_factory()
+        monitor = Monitor(platform.simulation)
+        if getattr(platform, "driver", None) is not None:
+            monitor.attach_driver(platform.driver)
+        if monitor.hang is not None:
+            monitor.hang.stall_threshold = self.stall_threshold
+
+        injector = FaultInjector(platform.simulation, seed=scenario.seed)
+        monitor.attach_injector(injector)
+        scenario.arm(injector)
+
+        if self.workload_factory is not None:
+            self.workload_factory().enqueue(platform.driver)
+
+        watchdog = Watchdog(monitor, self.watchdog_config)
+        monitor.attach_watchdog(watchdog)
+        watchdog.start()
+
+        completed: List[bool] = []
+        thread = threading.Thread(
+            target=lambda: completed.append(
+                platform.run(hang_wait=self.wall_timeout)),
+            daemon=True, name=f"campaign-{scenario.name}")
+
+        start = time.monotonic()
+        hang_detected_at: Optional[float] = None
+        thread.start()
+        try:
+            while thread.is_alive():
+                if time.monotonic() - start > self.wall_timeout:
+                    platform.simulation.abort()
+                    break
+                status = monitor.hang_status()
+                if (status.hung or watchdog.hang_count > 0) \
+                        and hang_detected_at is None:
+                    hang_detected_at = time.monotonic() - start
+                    if scenario.expect.completes is not True:
+                        # Verdict reached; give the watchdog the rest of
+                        # the budget to snapshot/recover/abort, then stop.
+                        self._await_watchdog(watchdog, start)
+                        break
+                time.sleep(self.poll_interval)
+            thread.join(timeout=self.wall_timeout)
+        finally:
+            watchdog.stop()
+            if thread.is_alive():  # don't overwrite a completed state
+                platform.simulation.abort()
+                thread.join(timeout=10.0)
+            monitor.stop_server()
+
+        elapsed = time.monotonic() - start
+        return self._evaluate(scenario, monitor, injector, watchdog,
+                              bool(completed and completed[0]),
+                              platform.simulation.run_state,
+                              hang_detected_at, elapsed)
+
+    def run_all(self, scenarios: List[FaultScenario]
+                ) -> List[CampaignResult]:
+        return [self.run(scenario) for scenario in scenarios]
+
+    def _await_watchdog(self, watchdog: Watchdog, start: float) -> None:
+        """Wait (within the wall budget) for the watchdog's verdict."""
+        while (watchdog.running and watchdog.report is None
+               and time.monotonic() - start < self.wall_timeout):
+            time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, scenario, monitor, injector, watchdog,
+                  completed: bool, final_state: str,
+                  hang_detected_at: Optional[float],
+                  elapsed: float) -> CampaignResult:
+        expect = scenario.expect
+        verdicts: Dict[str, Dict[str, Any]] = {}
+
+        if expect.hang_within is not None:
+            verdicts["hang_within"] = {
+                "expected": f"<= {expect.hang_within:g}s",
+                "observed": hang_detected_at,
+                "ok": (hang_detected_at is not None
+                       and hang_detected_at <= expect.hang_within),
+            }
+        if expect.completes is not None:
+            verdicts["completes"] = {
+                "expected": expect.completes,
+                "observed": completed,
+                "ok": completed == expect.completes,
+            }
+        if expect.buffer_pattern is not None:
+            rows = monitor.analyzer.snapshot(sort="size")
+            glob = expect.buffer_pattern.replace("[", "[[]")  # literal [
+            matching = [row.name for row in rows
+                        if fnmatch.fnmatchcase(row.name, glob)]
+            verdicts["buffer_pattern"] = {
+                "expected": expect.buffer_pattern,
+                "observed": matching[:5],
+                "ok": bool(matching),
+            }
+        if expect.alert_fired is not None:
+            fired = bool(monitor.alerts.fired_log)
+            verdicts["alert_fired"] = {
+                "expected": expect.alert_fired,
+                "observed": fired,
+                "ok": fired == expect.alert_fired,
+            }
+
+        return CampaignResult(
+            scenario=scenario.name,
+            passed=all(v["ok"] for v in verdicts.values()),
+            verdicts=verdicts,
+            elapsed_wall=elapsed,
+            completed=completed,
+            final_state=final_state,
+            fault_stats=injector.stats(),
+            watchdog_report=watchdog.report,
+        )

@@ -1,0 +1,100 @@
+"""Retry behaviour of the HTTP client's transport layer."""
+
+from urllib.error import HTTPError, URLError
+
+import pytest
+
+from repro.core import Monitor, RTMClient, RTMClientError
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+
+
+def _client(max_retries=3, **kwargs):
+    client = RTMClient("http://127.0.0.1:9", max_retries=max_retries,
+                       backoff=0.01, **kwargs)
+    client._sleep = client_sleeps(client)
+    return client
+
+
+def client_sleeps(client):
+    delays = []
+    client.sleep_log = delays
+    return delays.append
+
+
+def test_get_retries_transient_failure_then_raises():
+    # Port 9 (discard) refuses connections: every attempt fails fast.
+    client = _client(max_retries=3)
+    with pytest.raises(RTMClientError, match="after 4 attempts"):
+        client.overview()
+    assert client.retry_count == 3
+    assert len(client.sleep_log) == 3
+
+
+def test_backoff_grows_exponentially_with_jitter():
+    client = _client(max_retries=3)
+    with pytest.raises(RTMClientError):
+        client.overview()
+    d1, d2, d3 = client.sleep_log
+    # Base delays 0.01, 0.02, 0.04 with up to +50% jitter each.
+    assert 0.01 <= d1 <= 0.015
+    assert 0.02 <= d2 <= 0.03
+    assert 0.04 <= d3 <= 0.06
+    assert d1 < d2 < d3
+
+
+def test_zero_max_retries_fails_immediately():
+    client = _client(max_retries=0)
+    with pytest.raises(RTMClientError, match="after 1 attempts"):
+        client.overview()
+    assert client.retry_count == 0
+    assert client.sleep_log == []
+
+
+def test_post_is_never_retried():
+    client = _client(max_retries=5)
+    with pytest.raises(RTMClientError, match="after 1 attempts"):
+        client.pause()
+    assert client.retry_count == 0
+
+
+def test_http_error_status_is_never_retried(monkeypatch):
+    client = _client(max_retries=5)
+    calls = []
+
+    def fake_request(method, endpoint, url):
+        calls.append(url)
+        raise RTMClientError(f"{method} {endpoint} -> 404: nope")
+
+    monkeypatch.setattr(client, "_request", fake_request)
+    with pytest.raises(RTMClientError, match="404"):
+        client.overview()
+    assert len(calls) == 1
+    assert client.retry_count == 0
+
+
+def test_transient_then_success_recovers(monkeypatch):
+    client = _client(max_retries=3)
+    attempts = []
+
+    def flaky(method, endpoint, url):
+        attempts.append(url)
+        if len(attempts) < 3:
+            raise URLError("connection refused")
+        return {"ok": True}
+
+    monkeypatch.setattr(client, "_request", flaky)
+    assert client._get("/api/overview") == {"ok": True}
+    assert len(attempts) == 3
+    assert client.retry_count == 2
+
+
+def test_retry_against_live_server_is_transparent():
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+    monitor = Monitor(platform.simulation)
+    url = monitor.start_server()
+    try:
+        client = RTMClient(url, max_retries=2)
+        assert client.overview()["run_state"] == "idle"
+        assert client.retry_count == 0  # healthy server: no retries
+    finally:
+        monitor.stop_server()

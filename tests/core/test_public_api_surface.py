@@ -14,9 +14,20 @@ def test_core_exports_the_monitoring_stack():
     for name in ("Monitor", "RTMServer", "RTMClient", "BufferAnalyzer",
                  "SamplingProfiler", "ValueMonitor", "ValueWatch",
                  "ProgressBar", "HangDetector", "ResourceMonitor",
-                 "AlertManager", "AlertRule", "SeriesRecorder"):
+                 "AlertManager", "AlertRule", "SeriesRecorder",
+                 "Watchdog", "WatchdogConfig"):
         assert hasattr(core, name), name
         assert name in core.__all__
+
+
+def test_faults_exports_the_injection_stack():
+    from repro import faults
+
+    for name in ("FaultInjector", "FaultKind", "FaultSpec",
+                 "FaultScenario", "Expectation", "CampaignRunner",
+                 "CampaignResult", "LIBRARY", "cycles"):
+        assert hasattr(faults, name), name
+        assert name in faults.__all__
 
 
 def test_akita_exports_the_framework():
@@ -82,5 +93,7 @@ def test_client_mirrors_every_view_endpoint():
                    "watches", "topology", "throughput", "alerts",
                    "pause", "continue_", "kickstart", "tick", "throttle",
                    "watch", "unwatch", "add_alert", "remove_alert",
-                   "profile_start", "profile_stop"):
+                   "profile_start", "profile_stop",
+                   "faults", "inject_fault", "revoke_fault",
+                   "watchdog", "watchdog_start", "watchdog_stop"):
         assert callable(getattr(RTMClient, method)), method

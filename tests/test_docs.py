@@ -50,7 +50,9 @@ def test_public_modules_have_docstrings():
             "repro.core.bottleneck", "repro.core.timeseries",
             "repro.core.hangdetect", "repro.core.resources",
             "repro.core.client", "repro.core.alerts",
-            "repro.core.export",
+            "repro.core.export", "repro.core.watchdog",
+            "repro.faults", "repro.faults.injector",
+            "repro.faults.scenarios", "repro.faults.campaign",
             "repro.gpu.platform", "repro.gpu.rob", "repro.gpu.cu",
             "repro.gpu.rdma", "repro.gpu.network", "repro.gpu.debug",
             "repro.studies.session", "repro.studies.survey",
@@ -60,9 +62,9 @@ def test_public_modules_have_docstrings():
 
 
 def test_public_classes_have_docstrings():
-    from repro import akita, core, gpu
+    from repro import akita, core, faults, gpu
 
-    for namespace in (akita, core, gpu):
+    for namespace in (akita, core, faults, gpu):
         for name in namespace.__all__:
             obj = getattr(namespace, name)
             if isinstance(obj, type):

@@ -72,6 +72,22 @@ def test_record_timeseries(tmp_path):
 
 
 @pytest.mark.slow
+def test_fault_injection(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "fault_injection.py"),
+         str(tmp_path)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    assert "[PASS] write-buffer-stall" in out
+    assert "watchdog verdict: aborted" in out
+    assert "stalled buffer: " in out and "WriteBuffer" in out
+    assert "[PASS] slow-network" in out
+    assert "ALL PASS" in out
+    assert list(tmp_path.glob("watchdog_postmortem_*.json"))
+
+
+@pytest.mark.slow
 def test_custom_simulator():
     out = _run("custom_simulator.py")
     assert "<-- the slow component's input" in out
