@@ -1,0 +1,125 @@
+"""Tracing overhead: untraced vs ring-traced vs SQLite-traced runs.
+
+The tentpole claim of ``repro.trace`` mirrors AkitaRTM's own (§VII):
+instrumentation that is not active must cost nothing.  Three cells,
+same workload and platform as a Figure 7 column:
+
+1. ``untraced`` — no tracer constructed; the hook fast paths
+   (``if self._hooks``) short-circuit.  Must stay within noise of the
+   seed's unmonitored baseline.
+2. ``ring``     — tracer attached, every hop and task recorded into
+   the bounded in-memory ring.
+3. ``sqlite``   — same events flowing into the WAL-journaled,
+   batch-inserted SQLite store.
+
+Recording is allowed to cost real time (every port crossing becomes an
+object append); what is bounded is the *shape*: traced runs must stay
+within sanity multiples of untraced, and untraced must be
+indistinguishable from a plain run.
+
+The ring cell's events are exported to ``trace_artifact.jsonl`` so CI
+uploads a real trace alongside the timing summary.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace import RingStore, SQLiteStore, Tracer, write_jsonl
+from repro.workloads import FIR
+
+from .conftest import bench_platform
+
+TRACE_MODES = ("untraced", "ring", "sqlite")
+
+#: One benchmark is enough: FIR showed the paper's worst overhead.
+_WORKLOAD = lambda: FIR(num_samples=16384)  # noqa: E731
+
+
+@pytest.fixture(scope="session")
+def trace_overhead_results():
+    results = {}
+    yield results
+    if not results:
+        return
+    base = results.get("untraced")
+    lines = ["=== Tracing overhead (median seconds, FIR) ==="]
+    for mode in TRACE_MODES:
+        if mode not in results:
+            continue
+        med = sorted(results[mode])[len(results[mode]) // 2]
+        rel = f" ({med / base[0]:.2f}x untraced)" if base and mode != \
+            "untraced" else ""
+        lines.append(f"{mode:10s}{med:10.3f}{rel}")
+        if mode == "untraced":
+            base = (med,)
+    table = "\n".join(lines)
+    print("\n\n" + table)
+    Path("trace_overhead_summary.txt").write_text(table + "\n")
+
+
+@pytest.mark.parametrize("mode", TRACE_MODES)
+def test_trace_overhead(benchmark, trace_overhead_results, tmp_path,
+                        mode):
+    benchmark.group = "trace-overhead"
+    benchmark.name = mode
+    contexts = []
+
+    def setup():
+        platform = bench_platform()
+        _WORKLOAD().enqueue(platform.driver)
+        tracer = None
+        if mode == "ring":
+            tracer = Tracer(platform.simulation, RingStore(1 << 20))
+        elif mode == "sqlite":
+            db = tmp_path / f"overhead_{len(contexts)}.db"
+            tracer = Tracer(platform.simulation, SQLiteStore(str(db)))
+        if tracer is not None:
+            tracer.start()
+        contexts.append((platform, tracer))
+        return (platform,), {}
+
+    def run_simulation(platform):
+        assert platform.run()
+
+    benchmark.pedantic(run_simulation, setup=setup, rounds=3,
+                       iterations=1, warmup_rounds=0)
+
+    platform, tracer = contexts[-1]
+    if mode == "untraced":
+        # Zero-cost discipline: nothing was hooked, nothing recorded.
+        assert all(not c._hooks for c in platform.simulation.components)
+        assert all(not c._hooks
+                   for c in platform.simulation.connections)
+    else:
+        assert tracer.store.recorded > 0
+        tracer.stop()
+        if mode == "ring":
+            # The CI artifact: a real trace of the benchmark run.
+            write_jsonl(tracer.store.query(limit=0),
+                        "trace_artifact.jsonl")
+        tracer.close()
+    for _, t in contexts[:-1]:
+        if t is not None:
+            t.close()
+
+    trace_overhead_results[mode] = list(benchmark.stats.stats.data)
+
+
+def test_traced_runs_within_sanity_bounds(trace_overhead_results):
+    """Runs after the cells above (alphabetical luck is not relied on:
+    results are only asserted when present)."""
+    if len(trace_overhead_results) < len(TRACE_MODES):
+        pytest.skip("overhead cells not all collected in this run")
+
+    def median(vals):
+        s = sorted(vals)
+        return s[len(s) // 2]
+
+    base = median(trace_overhead_results["untraced"])
+    ring = median(trace_overhead_results["ring"])
+    sqlite = median(trace_overhead_results["sqlite"])
+    # Recording every hop costs real time, but must stay within sane
+    # multiples; untraced must never regress past noise.
+    assert ring < base * 4.0
+    assert sqlite < base * 5.0

@@ -26,7 +26,7 @@ from .errors import (
     SimulationError,
 )
 from .event import CallbackEvent, Event, Handler, TickEvent, VTimeInSec
-from .hooks import Hook, HookCtx, HookPos, Hookable
+from .hooks import Hook, HookCtx, HookPos, Hookable, TaskInfo
 from .message import ControlMsg, GeneralRsp, Msg
 from .port import Port
 from .queue import EventQueue
@@ -58,6 +58,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "Simulation",
+    "TaskInfo",
     "TickEvent",
     "TickingComponent",
     "Transfer",

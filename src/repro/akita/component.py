@@ -20,10 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from typing import Any
+
 from . import naming
 from .engine import Engine
 from .event import Event, TickEvent
-from .hooks import Hookable
+from .hooks import HookCtx, HookPos, Hookable, TaskInfo
 from .port import Port
 from .ticker import GHZ, next_tick
 
@@ -62,6 +64,27 @@ class Component(Hookable):
     # -- event handling --------------------------------------------------
     def handle(self, event: Event) -> None:
         raise NotImplementedError
+
+    # -- task annotations (observed by repro.trace) ------------------------
+    def task_begin(self, task_id: Any, kind: str = "",
+                   what: str = "") -> None:
+        """Announce the start of a unit of work (workgroup, cache miss,
+        RDMA transfer...).  No-op without hooks; hot call sites should
+        still guard with ``if self._hooks`` to skip the call entirely.
+        """
+        if self._hooks:
+            self.invoke_hooks(HookCtx(self, self._engine.now,
+                                      HookPos.TASK_BEGIN,
+                                      TaskInfo(task_id, kind, what)))
+
+    def task_end(self, task_id: Any, kind: str = "",
+                 what: str = "") -> None:
+        """Announce the end of the unit of work opened with the same
+        *task_id* via :meth:`task_begin`."""
+        if self._hooks:
+            self.invoke_hooks(HookCtx(self, self._engine.now,
+                                      HookPos.TASK_END,
+                                      TaskInfo(task_id, kind, what)))
 
     # -- notifications (called by ports/connections) -----------------------
     def notify_recv(self, port: Port) -> None:

@@ -119,6 +119,8 @@ class DirectConnection(Hookable):
                 # component has of a lossy link.
                 self._inflight[dst] -= 1
                 self.dropped_count += 1
+                self.invoke_hooks(HookCtx(self, self._engine.now,
+                                          HookPos.CONN_DROP, transfer))
                 self.notify_available(dst)
                 return
             deliver_at = max(transfer.deliver_at, self._engine.now)

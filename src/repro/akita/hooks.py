@@ -26,6 +26,27 @@ class HookPos(enum.Enum):
     ENGINE_DRY = "engine_dry"  # queue ran empty
     ENGINE_END = "engine_end"
     CONN_TRANSFER = "conn_transfer"  # a connection accepted a message
+    CONN_DROP = "conn_drop"  # an in-transit message was dropped (faults)
+    PORT_SEND = "port_send"  # a port successfully sent a message
+    PORT_DELIVER = "port_deliver"  # a message landed in a port buffer
+    PORT_RETRIEVE = "port_retrieve"  # a component consumed a message
+    TASK_BEGIN = "task_begin"  # a component started a unit of work
+    TASK_END = "task_end"  # a component finished a unit of work
+
+
+@dataclass
+class TaskInfo:
+    """Payload of ``TASK_BEGIN`` / ``TASK_END`` hooks.
+
+    Components annotate their units of work (a mapped workgroup, a cache
+    miss in flight, an RDMA transfer) with a stable *task_id* so begin
+    and end can be paired by observers, plus ``kind``/``what`` metadata
+    for display.  Constructed only when hooks are attached.
+    """
+
+    task_id: Any
+    kind: str = ""
+    what: str = ""
 
 
 @dataclass

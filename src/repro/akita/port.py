@@ -16,6 +16,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from .buffer import Buffer
 from .errors import PortError
+from .hooks import HookCtx, HookPos
 from .message import Msg
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -68,6 +69,13 @@ class Port:
         if not self._connection.can_send(self, msg):
             return False
         msg.src = self
+        # Hook before the connection takes over: a zero-latency
+        # connection may deliver (or drop) inline, and the trace must
+        # show the send first.
+        comp = self.component
+        if comp is not None and comp._hooks:
+            comp.invoke_hooks(HookCtx(self, comp._engine.now,
+                                      HookPos.PORT_SEND, msg))
         self._connection.send(self, msg)
         self.num_sent += 1
         return True
@@ -77,8 +85,12 @@ class Port:
         """Called by the connection when a message arrives."""
         self.buf.push(msg)
         self.num_delivered += 1
-        if self.component is not None:
-            self.component.notify_recv(self)
+        comp = self.component
+        if comp is not None:
+            if comp._hooks:
+                comp.invoke_hooks(HookCtx(self, comp._engine.now,
+                                          HookPos.PORT_DELIVER, msg))
+            comp.notify_recv(self)
 
     def peek_incoming(self) -> Optional[Msg]:
         """Look at the oldest received message without consuming it."""
@@ -93,6 +105,10 @@ class Port:
         if self.buf.size == 0:
             return None
         msg = self.buf.pop()
+        comp = self.component
+        if comp is not None and comp._hooks:
+            comp.invoke_hooks(HookCtx(self, comp._engine.now,
+                                      HookPos.PORT_RETRIEVE, msg))
         if self._connection is not None:
             self._connection.notify_available(self)
         return msg

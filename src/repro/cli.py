@@ -8,6 +8,8 @@ without writing code:
 * ``demo``  — start the paper's "problematic im2col" simulation and
   keep the dashboard up for interactive exploration;
 * ``study`` — execute the scripted user study and print Figure 6;
+* ``trace`` — run one benchmark with the tracer attached and export
+  the recorded message/task lifecycle (JSONL or Perfetto);
 * ``workloads`` — list the available benchmarks.
 """
 
@@ -64,6 +66,33 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="participant think time per action")
     study.add_argument("--report", type=str, default="",
                        help="write a markdown report to this path")
+
+    trace = sub.add_parser(
+        "trace", help="record a message/task trace of one benchmark")
+    trace.add_argument("workload", choices=sorted(SUITE),
+                       help="benchmark to execute")
+    trace.add_argument("--chiplets", type=int, default=2,
+                       help="number of GPU chiplets (default 2)")
+    trace.add_argument("--buggy-l2", action="store_true",
+                       help="enable case study 2's write-buffer bug")
+    trace.add_argument("--backend", choices=("ring", "sqlite"),
+                       default="ring",
+                       help="trace store (default: in-memory ring)")
+    trace.add_argument("--capacity", type=int, default=65536,
+                       help="ring capacity in events (default 65536)")
+    trace.add_argument("--db", type=str, default="",
+                       help="SQLite file for --backend sqlite")
+    trace.add_argument("--include", type=str, default="",
+                       help="component-name regex; others untraced")
+    trace.add_argument("--out", type=str, default="",
+                       help="export file (default: no export)")
+    trace.add_argument("--format", choices=("jsonl", "perfetto"),
+                       default="perfetto",
+                       help="export format for --out (default perfetto)")
+    trace.add_argument("--hang-wait", type=float, default=0.0,
+                       help="seconds to keep a hung simulation alive "
+                            "(default 0: exit on hang — the trace is "
+                            "still exported)")
 
     sub.add_parser("workloads", help="list available benchmarks")
     return parser
@@ -164,6 +193,44 @@ def _cmd_study(args: argparse.Namespace) -> int:
     return 0 if result.matches_paper_figure6() else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import RingStore, SQLiteStore, Tracer, export_events
+    config = GPUPlatformConfig.small(
+        num_chiplets=args.chiplets,
+        l2_write_buffer_bug=args.buggy_l2)
+    workload = suite_small()[args.workload]
+    platform = GPUPlatform(config)
+    workload.enqueue(platform.driver)
+
+    if args.backend == "sqlite":
+        if not args.db:
+            print("error: --backend sqlite needs --db", file=sys.stderr)
+            return 2
+        store = SQLiteStore(args.db)
+    else:
+        store = RingStore(args.capacity)
+    tracer = Tracer(platform.simulation, store,
+                    include=args.include or None)
+    tracer.start()
+    try:
+        ok = platform.run(hang_wait=args.hang_wait)
+    finally:
+        # A hung run still has a story to tell: stop (flushes), export.
+        tracer.stop()
+    state = "completed" if ok else platform.simulation.run_state
+    stats = store.stats()
+    print(f"{state}: {stats['recorded']:,} events recorded "
+          f"({stats.get('dropped', 0):,} dropped), "
+          f"t={platform.simulation.now * 1e6:.2f}us")
+    if args.out:
+        export_events(store.query(limit=0), args.format, args.out)
+        print(f"wrote {args.format} trace to {args.out}")
+    elif args.backend == "sqlite":
+        print(f"trace database: {args.db}")
+    tracer.close()
+    return 0 if ok else 1
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     for name, factory in sorted(SUITE.items()):
         workload = factory()
@@ -183,6 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "demo": _cmd_demo,
         "study": _cmd_study,
+        "trace": _cmd_trace,
         "workloads": _cmd_workloads,
     }[args.command]
     return handler(args)

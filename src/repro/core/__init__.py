@@ -21,7 +21,12 @@ dashboard under ``static/`` or programmatically via :class:`RTMClient`.
 from .alerts import AlertManager, AlertRule
 from .bottleneck import BufferAnalyzer, BufferRow
 from .client import RTMClient, RTMClientError
-from .export import RecordedSeries, SeriesRecorder, export_watches_csv
+from .export import (
+    RecordedSeries,
+    SeriesRecorder,
+    export_watches_csv,
+    load_recorded_series,
+)
 from .hangdetect import HangDetector, HangStatus
 from .inspector import (
     discover_buffers,
@@ -66,6 +71,7 @@ __all__ = [
     "WatchdogConfig",
     "discover_buffers",
     "export_watches_csv",
+    "load_recorded_series",
     "numeric_value",
     "resolve_path",
     "serialize_component",

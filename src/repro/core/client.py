@@ -176,6 +176,40 @@ class RTMClient:
     def watchdog_stop(self) -> Dict[str, Any]:
         return self._post("/api/watchdog", action="stop")
 
+    # -- tracing -------------------------------------------------------------
+    def trace(self) -> Dict[str, Any]:
+        """Tracer status + store stats (GET; retried like any view)."""
+        return self._get("/api/trace")
+
+    def trace_start(self, **config) -> Dict[str, Any]:
+        """Attach and start the tracer (backend/capacity/db/include
+        keywords pass through).  POST — never retried."""
+        return self._post("/api/trace", action="start", **config)
+
+    def trace_stop(self) -> Dict[str, Any]:
+        return self._post("/api/trace", action="stop")
+
+    def trace_clear(self) -> Dict[str, Any]:
+        return self._post("/api/trace", action="clear")
+
+    def trace_query(self, **filters) -> List[Dict[str, Any]]:
+        """Filtered events (component regex, kind, t0/t1, msg_id,
+        limit)."""
+        return self._get("/api/trace/query", **filters)["events"]
+
+    def trace_follow(self, msg_id: int) -> Dict[str, Any]:
+        """One message's recorded hops plus the rendered path."""
+        return self._get("/api/trace/follow", msg_id=msg_id)
+
+    def trace_export(self, format: str = "jsonl",
+                     path: Optional[str] = None, limit: int = 0) -> Any:
+        """Export the store: the document itself, or — with *path* — a
+        server-side file write confirmation."""
+        params: Dict[str, Any] = {"format": format, "limit": limit}
+        if path is not None:
+            params["path"] = path
+        return self._get("/api/trace/export", **params)
+
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:
         self._post("/api/pause")

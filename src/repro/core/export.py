@@ -135,6 +135,22 @@ class SeriesRecorder:
         return target
 
 
+def load_recorded_series(path) -> List[RecordedSeries]:
+    """Load series written by :meth:`SeriesRecorder.to_json`.
+
+    Round-trips exactly: ``load_recorded_series(rec.to_json(p))``
+    returns series equal to ``rec.series`` (points become tuples
+    again; JSON ``null`` values come back as ``None``).
+    """
+    payload = json.loads(Path(path).read_text())
+    return [RecordedSeries(
+        label=entry["label"],
+        component=entry["component"],
+        path=entry["path"],
+        points=[(t, v) for t, v in entry["points"]],
+    ) for entry in payload]
+
+
 def export_watches_csv(values: ValueMonitor, path) -> Path:
     """Dump a ValueMonitor's current watch histories (the dashboard's
     300-point rings) to CSV."""

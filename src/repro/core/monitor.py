@@ -67,6 +67,7 @@ class Monitor:
         self.hang: Optional[HangDetector] = None
         self.injector = None  # set by attach_injector / ensure_injector
         self.watchdog = None  # set by attach_watchdog / enable_watchdog
+        self.tracer = None  # set by attach_tracer / ensure_tracer
         self._server = None  # set by start_server
         self._driver = None
         self.sample_interval = sample_interval
@@ -126,6 +127,42 @@ class Monitor:
             from ..faults.injector import FaultInjector
             self.injector = FaultInjector(self._simulation, seed=seed)
         return self.injector
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Expose *tracer* over ``/api/trace`` and in diagnostics;
+        replaces (and closes) any previous one."""
+        if self.tracer is not None and self.tracer is not tracer:
+            self.tracer.close()
+        self.tracer = tracer
+
+    def ensure_tracer(self, backend: str = "ring", capacity: int = 65536,
+                      db_path: Optional[str] = None,
+                      include: Optional[str] = None):
+        """Return the attached tracer, creating one on first use.
+
+        Imported lazily so simulations that never trace never load the
+        trace package.  ``backend`` is ``"ring"`` (bounded in-memory,
+        default) or ``"sqlite"`` (durable; needs ``db_path``).
+        """
+        if self.tracer is None:
+            if self._simulation is None:
+                raise RuntimeError("tracing needs a registered simulation")
+            from ..trace import RingStore, SQLiteStore, Tracer
+            if backend == "sqlite":
+                if not db_path:
+                    raise ValueError(
+                        "sqlite trace backend needs a db_path")
+                store = SQLiteStore(db_path)
+            elif backend == "ring":
+                store = RingStore(capacity)
+            else:
+                raise ValueError(
+                    f"backend must be 'ring' or 'sqlite', got {backend!r}")
+            self.tracer = Tracer(self._simulation, store, include=include)
+        return self.tracer
 
     def attach_watchdog(self, watchdog) -> None:
         """Expose *watchdog* over ``/api/watchdog``; replaces (and
@@ -386,6 +423,8 @@ class Monitor:
         self.stop_sampler()
         if self.watchdog is not None:
             self.watchdog.stop()
+        if self.tracer is not None:
+            self.tracer.stop()
         if self.profiler.running:
             self.profiler.stop()
 

@@ -31,6 +31,11 @@ POST     /api/faults?kind&target&...     arm a fault (drop/delay/stall...)
 DELETE   /api/faults?id=I                disarm a fault
 GET      /api/watchdog                   supervision state + post-mortem
 POST     /api/watchdog?action=start|stop control the watchdog
+GET      /api/trace                      tracer status + store stats
+GET      /api/trace/query?component&...  filtered trace events
+GET      /api/trace/follow?msg_id=I      one message's hops + path
+GET      /api/trace/export?format&path   JSONL / Perfetto export
+POST     /api/trace?action=start|stop|clear  control the tracer
 GET      /api/profile?top=K              profiler report (T4)
 POST     /api/profile/start|stop         control the profiler
 POST     /api/pause | /api/continue      simulation control
@@ -215,6 +220,18 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     self._send_json(
                         {"ports": monitor.port_throughput(name)})
+            elif path == "/api/trace":
+                tracer = monitor.tracer
+                self._send_json({
+                    "attached": tracer is not None,
+                    **(tracer.status() if tracer else {}),
+                })
+            elif path == "/api/trace/query":
+                self._get_trace_query(params)
+            elif path == "/api/trace/follow":
+                self._get_trace_follow(params)
+            elif path == "/api/trace/export":
+                self._get_trace_export(params)
             else:
                 self._serve_static(path)
         except _BadRequest as exc:
@@ -238,6 +255,110 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json({"component": name, "path": path,
                          "time": monitor.now(),
                          "value": numeric_value(raw)})
+
+    # -- trace ---------------------------------------------------------------
+    def _require_tracer(self):
+        tracer = self.monitor.tracer
+        if tracer is None:
+            self._send_error_json(
+                "no tracer attached; POST /api/trace?action=start", 404)
+            return None
+        return tracer
+
+    def _get_trace_query(self, params: Dict[str, str]) -> None:
+        tracer = self._require_tracer()
+        if tracer is None:
+            return
+        filters: Dict[str, Any] = {
+            "limit": _int_param(params, "limit", 200),
+        }
+        if "component" in params:
+            try:
+                import re as _re
+                _re.compile(params["component"])
+            except _re.error as exc:
+                raise _BadRequest(
+                    f"bad component regex: {exc}") from None
+            filters["component"] = params["component"]
+        if "kind" in params:
+            filters["kind"] = params["kind"].split(",")
+        if "t0" in params:
+            filters["t0"] = _float_param(params, "t0")
+        if "t1" in params:
+            filters["t1"] = _float_param(params, "t1")
+        if "msg_id" in params:
+            filters["msg_id"] = _int_param(params, "msg_id", 0)
+        events = tracer.query(**filters)
+        self._send_json({"count": len(events),
+                         "events": [ev.to_dict() for ev in events]})
+
+    def _get_trace_follow(self, params: Dict[str, str]) -> None:
+        from ..trace import message_path
+        tracer = self._require_tracer()
+        if tracer is None:
+            return
+        if "msg_id" not in params:
+            raise _BadRequest("parameter 'msg_id' is required")
+        msg_id = _int_param(params, "msg_id", 0)
+        events = tracer.follow(msg_id)
+        if not events:
+            self._send_error_json(
+                f"no trace events for message {msg_id}", 404)
+            return
+        self._send_json({"msg_id": msg_id,
+                         "events": [ev.to_dict() for ev in events],
+                         "path": message_path(events)})
+
+    def _get_trace_export(self, params: Dict[str, str]) -> None:
+        from ..trace import export_events
+        tracer = self._require_tracer()
+        if tracer is None:
+            return
+        fmt = params.get("format", "jsonl")
+        limit = _int_param(params, "limit", 0)
+        events = tracer.query(limit=limit)
+        dest = params.get("path")
+        try:
+            payload = export_events(events, fmt, dest)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        if dest is not None:
+            self._send_json({"written": str(payload),
+                             "count": len(events), "format": fmt})
+        else:
+            self._send_json(payload)
+
+    def _post_trace(self, params: Dict[str, str]) -> None:
+        monitor = self.monitor
+        action = params.get("action", "")
+        if action == "start":
+            backend = params.get("backend", "ring")
+            try:
+                tracer = monitor.ensure_tracer(
+                    backend=backend,
+                    capacity=_int_param(params, "capacity", 65536),
+                    db_path=params.get("db"),
+                    include=params.get("include"))
+            except (RuntimeError, ValueError) as exc:
+                raise _BadRequest(str(exc)) from None
+            tracer.start()
+            self._send_json(tracer.status())
+        elif action == "stop":
+            tracer = self._require_tracer()
+            if tracer is None:
+                return
+            tracer.stop()
+            self._send_json(tracer.status())
+        elif action == "clear":
+            tracer = self._require_tracer()
+            if tracer is None:
+                return
+            tracer.clear()
+            self._send_json(tracer.status())
+        else:
+            raise _BadRequest(
+                f"action must be 'start', 'stop' or 'clear', "
+                f"got {action!r}")
 
     # -- POST ----------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
@@ -302,6 +423,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_fault(params)
             elif path == "/api/watchdog":
                 self._post_watchdog(params)
+            elif path == "/api/trace":
+                self._post_trace(params)
             else:
                 self._send_error_json("not found", 404)
         except _BadRequest as exc:
@@ -345,7 +468,8 @@ class _Handler(BaseHTTPRequestHandler):
             for key in ("check_interval", "retry_wait"):
                 if key in params:
                     config[key] = _float_param(params, key)
-            for key in ("max_tick_retries", "max_suspects"):
+            for key in ("max_tick_retries", "max_suspects",
+                        "trace_window"):
                 if key in params:
                     config[key] = _int_param(params, key, 0)
             for key in ("recover", "abort_on_failure"):

@@ -50,6 +50,9 @@ class WatchdogConfig:
     abort_on_failure: bool = True
     #: How many suspect components to wake per retry.
     max_suspects: int = 8
+    #: Trailing trace events attached to snapshots and post-mortems
+    #: when the monitor has a tracer (0 disables).
+    trace_window: int = 64
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -60,6 +63,7 @@ class WatchdogConfig:
             "recover": self.recover,
             "abort_on_failure": self.abort_on_failure,
             "max_suspects": self.max_suspects,
+            "trace_window": self.trace_window,
         }
 
 
@@ -153,6 +157,7 @@ class Watchdog:
             "recovery_wall_seconds": round(
                 time.monotonic() - detected_wall, 3),
             "snapshot_path": snapshot_path,
+            "trace_window": self._trace_tail(),
         }
         if recovered:
             self.state = "recovered"
@@ -232,7 +237,22 @@ class Watchdog:
         injector = getattr(monitor, "injector", None)
         if injector is not None:
             snapshot["faults"] = injector.to_dict()
+        trace_tail = self._trace_tail()
+        if trace_tail:
+            snapshot["trace_window"] = trace_tail
         return snapshot
+
+    def _trace_tail(self) -> List[Dict[str, Any]]:
+        """The last ``trace_window`` events before the hang — what was
+        moving (and what stopped moving) right at the end."""
+        tracer = getattr(self.monitor, "tracer", None)
+        if tracer is None or self.config.trace_window <= 0:
+            return []
+        try:
+            events = tracer.store.tail(self.config.trace_window)
+        except Exception:
+            return []  # diagnostics must never take the run down
+        return [ev.to_dict() for ev in events]
 
     def _persist(self, payload: Dict[str, Any],
                  stem: str) -> Optional[str]:

@@ -127,6 +127,8 @@ class L1VCache(TickingComponent):
         self.num_reads += 1
         entry = self.mshr.allocate(line)
         entry.waiting.append(req)
+        if self._hooks:
+            self.task_begin(line, "cache_miss", f"read@{line:#x}")
         self._try_send_fetch(entry)
         return True
 
@@ -138,6 +140,8 @@ class L1VCache(TickingComponent):
         key = ("w", req.id)
         entry = self.mshr.allocate(key)
         entry.waiting.append(req)
+        if self._hooks:
+            self.task_begin(key, "cache_miss", f"write@{req.address:#x}")
         self._try_send_write(entry)
         return True
 
@@ -191,6 +195,8 @@ class L1VCache(TickingComponent):
             self.bottom_port.retrieve_incoming()
             del self._pending_down[msg.respond_to]
             entry = self.mshr.release(key)
+            if self._hooks:
+                self.task_end(key, "cache_miss")
             if isinstance(msg, DataReadyRsp):
                 self.tags.fill(entry.key)  # write-through: victims clean
                 for waiting in entry.waiting:

@@ -114,6 +114,9 @@ class ComputeUnit(TickingComponent):
             for wf_id in range(num_wfs):
                 ops = iter(program(msg.wg_id, wf_id))
                 self.wavefronts.append(_Wavefront(wg, ops))
+            if self._hooks:
+                self.task_begin((wg.launch_id, wg.wg_id), "workgroup",
+                                f"wg[{wg.wg_id}]x{num_wfs}wf")
             progress = True
         return progress
 
@@ -144,6 +147,9 @@ class ComputeUnit(TickingComponent):
             wf.wg.remaining_wfs -= 1
             if wf.wg.remaining_wfs == 0:
                 self._completions.append(wf.wg)
+                if self._hooks:
+                    self.task_end((wf.wg.launch_id, wf.wg.wg_id),
+                                  "workgroup", f"wg[{wf.wg.wg_id}]")
         return progress
 
     def _advance_one(self, wf: _Wavefront) -> bool:

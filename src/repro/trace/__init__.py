@@ -1,0 +1,61 @@
+"""``repro.trace`` — always-on task/message tracing with a queryable
+store and Perfetto export.
+
+AkitaRTM (``repro.core``) shows the simulation's *present*; this
+subsystem records its *past*.  Every message hop (send / deliver /
+retrieve / drop) and every annotated component task (CU workgroups,
+cache misses, RDMA transfers) becomes a :class:`TraceEvent` in a
+bounded ring buffer or a durable SQLite file, query-able by component
+regex, kind, time window or message id, and exportable to JSONL or the
+Chrome/Perfetto ``trace_event`` format (opens in ui.perfetto.dev).
+
+Typical usage::
+
+    from repro.trace import Tracer, RingStore
+    from repro.gpu import GPUPlatform
+
+    platform = GPUPlatform()
+    tracer = Tracer(platform.simulation, RingStore(capacity=100_000))
+    tracer.start()
+    platform.run()
+    tracer.stop()
+
+    hops = tracer.query(component=r"RDMA", kind="deliver")
+    print("\\n".join(tracer.path(hops[0].msg_id)))
+    from repro.trace import write_perfetto
+    write_perfetto(tracer.query(limit=0), "trace.json")
+
+Recording costs nothing when no tracer is attached: the framework's
+hook fast paths (``if self._hooks``) skip even the hook-context
+construction, exactly like the fault injector.
+"""
+
+from .events import FIELDS, TraceEvent, TraceKind, message_path
+from .export import (
+    EXPORT_FORMATS,
+    export_events,
+    read_jsonl,
+    to_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+from .store import NO_LIMIT, RingStore, SQLiteStore, TraceStore
+from .tracer import Tracer
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "FIELDS",
+    "NO_LIMIT",
+    "RingStore",
+    "SQLiteStore",
+    "TraceEvent",
+    "TraceKind",
+    "TraceStore",
+    "Tracer",
+    "export_events",
+    "message_path",
+    "read_jsonl",
+    "to_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]

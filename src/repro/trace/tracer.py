@@ -1,0 +1,173 @@
+"""The tracer: turns hook firings into stored :class:`TraceEvent`\\ s.
+
+A :class:`Tracer` attaches one hook to every component (for port and
+task events) and every connection (for in-transit drops) of a
+simulation.  Detached, the simulation pays nothing: the hook fast paths
+(``if self._hooks``) never construct a context.  Attached, each event
+costs one dict-free object append into the configured store.
+
+The per-message linkage rule: a message keeps its id for one hop
+(send → deliver → retrieve, or send → drop).  Components forward work
+as *new* messages, so a request's journey through the hierarchy is a
+chain of hops; responses carry ``re:<request id>`` in ``extra`` so the
+two directions can be paired.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..akita.hooks import HookCtx, HookPos
+from ..akita.simulation import Simulation
+from .events import TraceEvent, TraceKind, message_path
+from .store import RingStore, TraceStore
+
+#: HookPos -> TraceKind for the port-lifecycle hooks.
+_PORT_KINDS = {
+    HookPos.PORT_SEND: TraceKind.SEND,
+    HookPos.PORT_DELIVER: TraceKind.DELIVER,
+    HookPos.PORT_RETRIEVE: TraceKind.RETRIEVE,
+}
+
+
+def _response_link(msg: Any) -> str:
+    """``"re:<id>"`` when *msg* answers an earlier request."""
+    original = getattr(msg, "respond_to", None)
+    if original is None:
+        original = getattr(msg, "original_id", None)
+    return f"re:{original}" if original is not None else ""
+
+
+class Tracer:
+    """Records the lifecycle of messages and tasks in one simulation."""
+
+    def __init__(self, simulation: Simulation,
+                 store: Optional[TraceStore] = None,
+                 include: Optional[str] = None):
+        """
+        Parameters
+        ----------
+        simulation:
+            The simulation to observe.
+        store:
+            Event sink; defaults to a :class:`RingStore`.
+        include:
+            Optional component-name regex.  Only matching components are
+            hooked, so excluded components pay zero recording cost (the
+            filter acts at attach time, not per event).
+        """
+        self.simulation = simulation
+        self.store = store if store is not None else RingStore()
+        self.include = include
+        self._recording = False
+        self._hooked_components: List[Any] = []
+        self._hooked_connections: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def recording(self) -> bool:
+        return self._recording
+
+    def start(self) -> None:
+        """Attach hooks and begin recording (idempotent)."""
+        if self._recording:
+            return
+        pattern = re.compile(self.include) if self.include else None
+        for component in self.simulation.components:
+            if pattern is None or pattern.search(component.name):
+                component.accept_hook(self._on_hook)
+                self._hooked_components.append(component)
+        for conn in self.simulation.connections:
+            conn.accept_hook(self._on_hook)
+            self._hooked_connections.append(conn)
+        self._recording = True
+
+    def stop(self) -> None:
+        """Detach all hooks and flush the store (idempotent)."""
+        for component in self._hooked_components:
+            component.remove_hook(self._on_hook)
+        for conn in self._hooked_connections:
+            conn.remove_hook(self._on_hook)
+        self._hooked_components.clear()
+        self._hooked_connections.clear()
+        self.store.flush()
+        self._recording = False
+
+    def close(self) -> None:
+        self.stop()
+        self.store.close()
+
+    def clear(self) -> None:
+        self.store.clear()
+
+    # ------------------------------------------------------------------
+    # The hook (runs on the simulation thread; must stay cheap)
+    # ------------------------------------------------------------------
+    def _on_hook(self, ctx: HookCtx) -> None:
+        pos = ctx.pos
+        kind = _PORT_KINDS.get(pos)
+        if kind is not None:
+            port = ctx.domain
+            msg = ctx.item
+            comp = port.component
+            src = msg.src.name if msg.src is not None else ""
+            dst = msg.dst.name if msg.dst is not None else ""
+            extra = _response_link(msg)
+            if kind != TraceKind.SEND:
+                occupancy = f"{port.buf.size}/{port.buf.capacity}"
+                extra = f"{occupancy} {extra}".rstrip()
+            self.store.append(TraceEvent(
+                ctx.now, kind, comp.name if comp is not None else "",
+                port.name, msg.id, type(msg).__name__, src, dst, extra))
+        elif pos is HookPos.CONN_DROP:
+            transfer = ctx.item
+            msg = transfer.msg
+            src = msg.src.name if msg.src is not None else ""
+            dst = msg.dst.name if msg.dst is not None else ""
+            self.store.append(TraceEvent(
+                ctx.now, TraceKind.DROP, ctx.domain.name, ctx.domain.name,
+                msg.id, type(msg).__name__, src, dst,
+                _response_link(msg)))
+        elif pos is HookPos.TASK_BEGIN or pos is HookPos.TASK_END:
+            info = ctx.item
+            kind = TraceKind.TASK_BEGIN if pos is HookPos.TASK_BEGIN \
+                else TraceKind.TASK_END
+            self.store.append(TraceEvent(
+                ctx.now, kind, ctx.domain.name, info.what, None,
+                info.kind, extra=str(info.task_id)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, **filters) -> List[TraceEvent]:
+        """Delegates to the store; see :meth:`TraceStore.query`."""
+        return self.store.query(**filters)
+
+    def follow(self, msg_id: int) -> List[TraceEvent]:
+        """Every recorded lifecycle event of message *msg_id*, plus the
+        events of responses that answer it, oldest first."""
+        events = self.store.query(msg_id=msg_id, limit=0)
+        link = f"re:{msg_id}"
+        followups = [ev for ev in self.store.query(limit=0)
+                     if link in ev.extra.split()]
+        merged = {ev.seq: ev for ev in events + followups}
+        return [merged[seq] for seq in sorted(merged)]
+
+    def path(self, msg_id: int) -> List[str]:
+        """Human-readable hop list for message *msg_id*."""
+        return message_path(self.follow(msg_id))
+
+    # ------------------------------------------------------------------
+    # Introspection (drives /api/trace)
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        return {
+            "recording": self._recording,
+            "include": self.include,
+            "hooked_components": len(self._hooked_components),
+            "hooked_connections": len(self._hooked_connections),
+            "store": self.store.stats(),
+        }

@@ -57,6 +57,26 @@ def test_post_is_never_retried():
     assert client.retry_count == 0
 
 
+def test_trace_control_posts_are_never_retried():
+    # trace_start/trace_stop/trace_clear are POSTs: a timed-out control
+    # request may still have been applied, so one attempt only.
+    client = _client(max_retries=5)
+    for call in (client.trace_start, client.trace_stop,
+                 client.trace_clear):
+        with pytest.raises(RTMClientError, match="after 1 attempts"):
+            call()
+    assert client.retry_count == 0
+    assert client.sleep_log == []
+
+
+def test_trace_views_are_retried_like_gets():
+    # The read-only trace endpoints ride the idempotent GET path.
+    client = _client(max_retries=2)
+    with pytest.raises(RTMClientError, match="after 3 attempts"):
+        client.trace()
+    assert client.retry_count == 2
+
+
 def test_http_error_status_is_never_retried(monkeypatch):
     client = _client(max_retries=5)
     calls = []

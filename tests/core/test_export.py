@@ -8,7 +8,12 @@ import time
 import pytest
 
 from repro.core import Monitor, RTMClient, ValueMonitor
-from repro.core.export import SeriesRecorder, export_watches_csv
+from repro.core.export import (
+    RecordedSeries,
+    SeriesRecorder,
+    export_watches_csv,
+    load_recorded_series,
+)
 from repro.gpu import GPUPlatform, GPUPlatformConfig
 from repro.workloads import FIR
 
@@ -85,6 +90,38 @@ def test_recorder_json_round_trip(live, tmp_path):
     payload = json.loads(out.read_text())
     assert payload[0]["component"] == rob
     assert payload[0]["points"]
+
+
+def test_recorder_dump_load_round_trip(live, tmp_path):
+    platform, client = live
+    rob = platform.chiplets[0].robs[0].name
+    recorder = SeriesRecorder(client, [(rob, "size"),
+                                       (rob, "top_port.buf")],
+                              interval=0.01)
+    recorder.record_for(0.3)
+    out = recorder.to_json(tmp_path / "series.json")
+
+    loaded = load_recorded_series(out)
+    assert len(loaded) == len(recorder.series)
+    for original, restored in zip(recorder.series, loaded):
+        assert restored.label == original.label
+        assert restored.component == original.component
+        assert restored.path == original.path
+        assert restored.points == original.points
+
+
+def test_load_recorded_series_synthetic_round_trip(tmp_path):
+    # Pure round-trip without a live server, including a None value
+    # (a sample the recorder took while the path was not resolvable).
+    series = RecordedSeries("A.size", "A", "size",
+                            points=[(0.0, 1.0), (1e-9, None),
+                                    (2e-9, 3.5)])
+    recorder = SeriesRecorder.__new__(SeriesRecorder)
+    recorder.series = [series]
+    out = recorder.to_json(tmp_path / "series.json")
+    loaded = load_recorded_series(out)
+    assert loaded[0].points == series.points
+    assert loaded[0] == series
 
 
 def test_recorder_survives_bad_path(live, tmp_path):

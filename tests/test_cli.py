@@ -52,6 +52,56 @@ def test_study_command(capsys):
     assert "matches paper Figure 6: True" in out
 
 
+def test_trace_records_and_exports_perfetto(capsys, tmp_path):
+    out_path = tmp_path / "fir.json"
+    assert main(["trace", "fir", "--chiplets", "1",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "completed:" in out
+    assert "events recorded" in out
+    assert f"wrote perfetto trace to {out_path}" in out
+    import json
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_jsonl_export(capsys, tmp_path):
+    out_path = tmp_path / "fir.jsonl"
+    assert main(["trace", "fir", "--chiplets", "1",
+                 "--format", "jsonl", "--out", str(out_path)]) == 0
+    from repro.trace import read_jsonl
+    events = read_jsonl(out_path)
+    assert events and events[0].seq == 0
+
+
+def test_trace_sqlite_backend(capsys, tmp_path):
+    db = tmp_path / "fir.db"
+    assert main(["trace", "fir", "--chiplets", "1",
+                 "--backend", "sqlite", "--db", str(db)]) == 0
+    out = capsys.readouterr().out
+    assert f"trace database: {db}" in out
+    from repro.trace import SQLiteStore
+    store = SQLiteStore(str(db))
+    assert len(store) > 0
+    store.close()
+
+
+def test_trace_sqlite_requires_db(capsys):
+    assert main(["trace", "fir", "--backend", "sqlite"]) == 2
+    assert "--db" in capsys.readouterr().err
+
+
+def test_trace_include_filter(capsys, tmp_path):
+    out_path = tmp_path / "cu.jsonl"
+    assert main(["trace", "fir", "--chiplets", "1",
+                 "--include", r"CU\[", "--format", "jsonl",
+                 "--out", str(out_path)]) == 0
+    from repro.trace import read_jsonl
+    events = read_jsonl(out_path)
+    assert events
+    assert all("CU[" in ev.component for ev in events)
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -88,6 +88,27 @@ def test_fault_injection(tmp_path):
 
 
 @pytest.mark.slow
+def test_trace_capture(tmp_path):
+    out_path = tmp_path / "trace.jsonl"
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "trace_capture.py"),
+         str(out_path)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    assert "trace events recorded" in out
+    assert "messages dropped in transit:" in out
+    assert "first dropped message:" in out
+    assert "reconstructed path:" in out
+    # The send hop must precede the drop in the rendered path.
+    path_lines = out.split("reconstructed path:", 1)[1].splitlines()
+    path_lines = [line.strip() for line in path_lines if line.strip()]
+    assert path_lines[0].startswith("t=") and "sent" in path_lines[0]
+    assert any("DROPPED in transit" in line for line in path_lines)
+    assert out_path.is_file() and out_path.stat().st_size > 0
+
+
+@pytest.mark.slow
 def test_custom_simulator():
     out = _run("custom_simulator.py")
     assert "<-- the slow component's input" in out

@@ -1,0 +1,68 @@
+"""Unit tests for the trace record and its renderings."""
+
+from repro.trace import FIELDS, TraceEvent, TraceKind, message_path
+
+
+def _event(**overrides):
+    base = dict(time=1.5e-9, kind=TraceKind.SEND, component="GPU[0].CU[1]",
+                what="MemPort", msg_id=42, msg_type="ReadReq",
+                src="GPU[0].CU[1].MemPort", dst="GPU[0].ROB[1].TopPort",
+                extra="", seq=7)
+    base.update(overrides)
+    return TraceEvent(**base)
+
+
+def test_round_trip_through_dict():
+    ev = _event()
+    clone = TraceEvent.from_dict(ev.to_dict())
+    assert clone == ev
+    assert clone.seq == ev.seq
+
+
+def test_round_trip_through_row():
+    ev = _event(extra="3/8 re:40")
+    clone = TraceEvent.from_row(ev.to_row())
+    assert clone == ev
+
+
+def test_row_order_matches_fields():
+    ev = _event()
+    row = ev.to_row()
+    for i, name in enumerate(FIELDS):
+        assert row[i] == getattr(ev, name)
+
+
+def test_none_message_id_round_trips():
+    ev = _event(msg_id=None, kind=TraceKind.TASK_BEGIN,
+                msg_type="workgroup", what="wg[3]x4wf", extra="(0, 3)")
+    assert TraceEvent.from_dict(ev.to_dict()) == ev
+    assert TraceEvent.from_row(ev.to_row()) == ev
+
+
+def test_equality_is_field_wise():
+    assert _event() == _event()
+    assert _event() != _event(msg_id=43)
+    assert _event().__eq__(object()) is NotImplemented
+
+
+def test_kind_vocabulary():
+    assert set(TraceKind.MESSAGE) < set(TraceKind.ALL)
+    assert TraceKind.TASK_BEGIN in TraceKind.ALL
+    assert TraceKind.TASK_BEGIN not in TraceKind.MESSAGE
+
+
+def test_message_path_renders_each_hop_kind():
+    events = [
+        _event(kind=TraceKind.SEND, seq=0),
+        _event(kind=TraceKind.DELIVER, what="TopPort", extra="3/8",
+               seq=1),
+        _event(kind=TraceKind.RETRIEVE, component="GPU[0].ROB[1]",
+               seq=2),
+        _event(kind=TraceKind.DROP, component="GPU[0].NetConn", seq=3),
+    ]
+    lines = message_path(events)
+    assert len(lines) == 4
+    assert "sent ReadReq#42" in lines[0]
+    assert "delivered at TopPort" in lines[1] and "3/8" in lines[1]
+    assert "consumed by GPU[0].ROB[1]" in lines[2]
+    assert "DROPPED in transit on GPU[0].NetConn" in lines[3]

@@ -1,0 +1,117 @@
+"""Watchdog × tracer: post-mortems carry the trailing trace window."""
+
+import time
+
+from repro.core.bottleneck import BufferRow
+from repro.core.hangdetect import HangStatus
+from repro.core.watchdog import Watchdog, WatchdogConfig
+from repro.trace import RingStore, TraceEvent, TraceKind
+
+
+class FakeSimulation:
+    def abort(self):
+        pass
+
+
+class FakeTracer:
+    def __init__(self, store):
+        self.store = store
+
+
+class FakeMonitor:
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self._simulation = FakeSimulation()
+        self._verdicts = [True, True, True, True, True]
+
+    def hang_status(self):
+        hung = self._verdicts.pop(0) if self._verdicts else False
+        stuck = [BufferRow("GPU[0].L2[0].TopPort.Buf", 2, 16)] \
+            if hung else []
+        return HangStatus(hung, 2.5, 1e-6, "hung" if hung else "running",
+                          5.0, stuck)
+
+    def component_names(self):
+        return ["GPU[0].L2[0]"]
+
+    def tick_component(self, name):
+        return True
+
+    def kick_start(self):
+        pass
+
+    def overview(self):
+        return {"run_state": "hung"}
+
+    def progress_bars(self):
+        return []
+
+
+def _filled_store(n=100):
+    store = RingStore(1000)
+    for i in range(n):
+        store.append(TraceEvent(i * 1e-9, TraceKind.SEND, "GPU[0].CU[0]",
+                                "MemPort", i, "ReadReq"))
+    return store
+
+
+def _run_to_abort(monitor, **config_kw):
+    wd = Watchdog(monitor, WatchdogConfig(check_interval=0.02,
+                                          retry_wait=0.02,
+                                          max_tick_retries=1,
+                                          **config_kw))
+    wd.start()
+    deadline = time.monotonic() + 5.0
+    while wd.state != "aborted" and time.monotonic() < deadline:
+        time.sleep(0.01)
+    wd.stop()
+    assert wd.state == "aborted"
+    return wd
+
+
+def test_postmortem_includes_trace_window():
+    monitor = FakeMonitor(FakeTracer(_filled_store(100)))
+    wd = _run_to_abort(monitor, trace_window=16)
+    window = wd.report["trace_window"]
+    assert len(window) == 16
+    # The tail: the most recent events, oldest first, as plain dicts.
+    assert [ev["seq"] for ev in window] == list(range(84, 100))
+    assert window[-1]["kind"] == TraceKind.SEND
+
+
+def test_snapshot_includes_trace_window(tmp_path):
+    monitor = FakeMonitor(FakeTracer(_filled_store(10)))
+    wd = _run_to_abort(monitor, trace_window=64,
+                       snapshot_dir=str(tmp_path))
+    import json
+    snapshots = sorted(tmp_path.glob("watchdog_snapshot_*.json"))
+    assert snapshots
+    snapshot = json.loads(snapshots[0].read_text())
+    assert len(snapshot["trace_window"]) == 10  # fewer than the window
+
+
+def test_no_tracer_means_empty_window():
+    wd = _run_to_abort(FakeMonitor(tracer=None))
+    assert wd.report["trace_window"] == []
+
+
+def test_zero_window_disables_tail():
+    monitor = FakeMonitor(FakeTracer(_filled_store(10)))
+    wd = _run_to_abort(monitor, trace_window=0)
+    assert wd.report["trace_window"] == []
+
+
+def test_trace_window_in_config_dict():
+    config = WatchdogConfig(trace_window=32)
+    assert config.to_dict()["trace_window"] == 32
+
+
+def test_broken_store_never_breaks_diagnostics():
+    class BrokenStore:
+        def tail(self, n):
+            raise RuntimeError("boom")
+
+    monitor = FakeMonitor(FakeTracer(BrokenStore()))
+    wd = _run_to_abort(monitor)
+    assert wd.report["trace_window"] == []
+    assert wd.report["verdict"] == "aborted"
