@@ -1,0 +1,111 @@
+"""Metrics overhead: uninstrumented vs registry-instrumented runs.
+
+The registry's tentpole claim mirrors the tracer's (and AkitaRTM §VII):
+instrumentation that is not attached must cost nothing.  Two cells,
+same workload and platform as a Figure 7 column:
+
+1. ``uninstrumented`` — no SimMetrics constructed; every hook fast path
+   (``if self._hooks``) short-circuits.  The cell asserts the engine,
+   components and connections really are hook-free.
+2. ``registry``       — SimMetrics attached: engine event/pass timing
+   hooks live, buffer-occupancy observation at every delivery, pull
+   collectors for ports/caches/CUs/RDMA, plus the self-overhead
+   counters (rtm_hook_callback_seconds_total by position).
+
+The registry cell's final state is exposed to
+``metrics_exposition.txt`` — a real Prometheus scrape of the benchmark
+run — so CI uploads it alongside the timing summary.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.metrics import SimMetrics, expose
+from repro.workloads import FIR
+
+from .conftest import bench_platform
+
+METRICS_MODES = ("uninstrumented", "registry")
+
+#: Same single-benchmark choice as the tracing cells: FIR showed the
+#: paper's worst overhead.
+_WORKLOAD = lambda: FIR(num_samples=16384)  # noqa: E731
+
+
+@pytest.fixture(scope="session")
+def metrics_overhead_results():
+    results = {}
+    yield results
+    if not results:
+        return
+    base = results.get("uninstrumented")
+    lines = ["=== Metrics overhead (median seconds, FIR) ==="]
+    for mode in METRICS_MODES:
+        if mode not in results:
+            continue
+        med = sorted(results[mode])[len(results[mode]) // 2]
+        rel = f" ({med / base[0]:.2f}x uninstrumented)" \
+            if base and mode != "uninstrumented" else ""
+        lines.append(f"{mode:14s}{med:10.3f}{rel}")
+        if mode == "uninstrumented":
+            base = (med,)
+    table = "\n".join(lines)
+    print("\n\n" + table)
+    Path("metrics_overhead_summary.txt").write_text(table + "\n")
+
+
+@pytest.mark.parametrize("mode", METRICS_MODES)
+def test_metrics_overhead(benchmark, metrics_overhead_results, mode):
+    benchmark.group = "metrics-overhead"
+    benchmark.name = mode
+    contexts = []
+
+    def setup():
+        platform = bench_platform()
+        _WORKLOAD().enqueue(platform.driver)
+        sim_metrics = None
+        if mode == "registry":
+            sim_metrics = SimMetrics(platform.simulation)
+            sim_metrics.start()
+        contexts.append((platform, sim_metrics))
+        return (platform,), {}
+
+    def run_simulation(platform):
+        assert platform.run()
+
+    benchmark.pedantic(run_simulation, setup=setup, rounds=3,
+                       iterations=1, warmup_rounds=0)
+
+    platform, sim_metrics = contexts[-1]
+    if mode == "uninstrumented":
+        # Zero-cost discipline: the timed runs had no hooks anywhere.
+        assert not platform.simulation.engine._hooks
+        assert all(not c._hooks for c in platform.simulation.components)
+        assert all(not c._hooks
+                   for c in platform.simulation.connections)
+    else:
+        sim_metrics.stop()
+        snap = sim_metrics.registry.snapshot()
+        assert snap["rtm_engine_events_total"]["samples"][0][
+            "value"] == platform.simulation.engine.event_count
+        # The CI artifact: a real scrape of the benchmark run.
+        Path("metrics_exposition.txt").write_text(
+            expose(sim_metrics.registry))
+
+    metrics_overhead_results[mode] = list(benchmark.stats.stats.data)
+
+
+def test_registry_run_within_sanity_bounds(metrics_overhead_results):
+    """Acceptance bound: registry-on stays <= 1.5x the uninstrumented
+    baseline (runs after the cells; skips when they did not)."""
+    if len(metrics_overhead_results) < len(METRICS_MODES):
+        pytest.skip("overhead cells not all collected in this run")
+
+    def median(vals):
+        s = sorted(vals)
+        return s[len(s) // 2]
+
+    base = median(metrics_overhead_results["uninstrumented"])
+    registry = median(metrics_overhead_results["registry"])
+    assert registry < base * 1.5

@@ -25,7 +25,7 @@ from typing import Any
 from . import naming
 from .engine import Engine
 from .event import Event, TickEvent
-from .hooks import HookCtx, HookPos, Hookable, TaskInfo
+from .hooks import HookPos, Hookable, TaskInfo
 from .port import Port
 from .ticker import GHZ, next_tick
 
@@ -72,19 +72,17 @@ class Component(Hookable):
         RDMA transfer...).  No-op without hooks; hot call sites should
         still guard with ``if self._hooks`` to skip the call entirely.
         """
-        if self._hooks:
-            self.invoke_hooks(HookCtx(self, self._engine.now,
-                                      HookPos.TASK_BEGIN,
-                                      TaskInfo(task_id, kind, what)))
+        if HookPos.TASK_BEGIN in self._hook_positions:
+            self.fire_hooks(self, self._engine.now, HookPos.TASK_BEGIN,
+                            TaskInfo(task_id, kind, what))
 
     def task_end(self, task_id: Any, kind: str = "",
                  what: str = "") -> None:
         """Announce the end of the unit of work opened with the same
         *task_id* via :meth:`task_begin`."""
-        if self._hooks:
-            self.invoke_hooks(HookCtx(self, self._engine.now,
-                                      HookPos.TASK_END,
-                                      TaskInfo(task_id, kind, what)))
+        if HookPos.TASK_END in self._hook_positions:
+            self.fire_hooks(self, self._engine.now, HookPos.TASK_END,
+                            TaskInfo(task_id, kind, what))
 
     # -- notifications (called by ports/connections) -----------------------
     def notify_recv(self, port: Port) -> None:

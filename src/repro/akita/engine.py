@@ -161,6 +161,12 @@ class Engine(Hookable):
             raise EngineError("cannot run a terminated engine")
         self._state = RunState.RUNNING
         self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_START))
+        # One reusable ctx serves the before/after pair of every event:
+        # constructing two dataclasses per event is measurable at
+        # millions of events.  Hooks must not retain the ctx (see
+        # hooks.py); a hook attached between the two firings of one
+        # event still sees a correctly filled ctx.
+        ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT)
         while True:
             if self._terminated:
                 break
@@ -174,16 +180,26 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
-            if self._hooks:
-                ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT, event)
-                self.invoke_hooks(ctx)
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.BEFORE_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
                 if ctx.skip:
                     continue
             event.handler.handle(event)
             self._event_count += 1
-            if self._hooks:
-                self.invoke_hooks(
-                    HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.AFTER_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
             if self._throttle_delay:
                 time.sleep(self._throttle_delay)
         if self._terminated:
@@ -199,6 +215,7 @@ class Engine(Hookable):
         Does not honor pause requests; intended for single-threaded use.
         """
         self._state = RunState.RUNNING
+        ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT)
         while True:
             with self._lock:
                 nxt = self._queue.next_time()
@@ -206,15 +223,25 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
-            if self._hooks:
-                ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT, event)
-                self.invoke_hooks(ctx)
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.BEFORE_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
                 if ctx.skip:
                     continue
             event.handler.handle(event)
             self._event_count += 1
-            if self._hooks:
-                self.invoke_hooks(
-                    HookCtx(self, self._now, HookPos.AFTER_EVENT, event))
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.AFTER_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
         self._now = max(self._now, t)
         self._state = RunState.DRY

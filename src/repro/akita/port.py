@@ -16,7 +16,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from .buffer import Buffer
 from .errors import PortError
-from .hooks import HookCtx, HookPos
+from .hooks import HookPos
 from .message import Msg
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -73,9 +73,9 @@ class Port:
         # connection may deliver (or drop) inline, and the trace must
         # show the send first.
         comp = self.component
-        if comp is not None and comp._hooks:
-            comp.invoke_hooks(HookCtx(self, comp._engine.now,
-                                      HookPos.PORT_SEND, msg))
+        if comp is not None and HookPos.PORT_SEND in comp._hook_positions:
+            comp.fire_hooks(self, comp._engine.now,
+                            HookPos.PORT_SEND, msg)
         self._connection.send(self, msg)
         self.num_sent += 1
         return True
@@ -87,9 +87,9 @@ class Port:
         self.num_delivered += 1
         comp = self.component
         if comp is not None:
-            if comp._hooks:
-                comp.invoke_hooks(HookCtx(self, comp._engine.now,
-                                          HookPos.PORT_DELIVER, msg))
+            if HookPos.PORT_DELIVER in comp._hook_positions:
+                comp.fire_hooks(self, comp._engine.now,
+                                HookPos.PORT_DELIVER, msg)
             comp.notify_recv(self)
 
     def peek_incoming(self) -> Optional[Msg]:
@@ -106,9 +106,10 @@ class Port:
             return None
         msg = self.buf.pop()
         comp = self.component
-        if comp is not None and comp._hooks:
-            comp.invoke_hooks(HookCtx(self, comp._engine.now,
-                                      HookPos.PORT_RETRIEVE, msg))
+        if comp is not None and \
+                HookPos.PORT_RETRIEVE in comp._hook_positions:
+            comp.fire_hooks(self, comp._engine.now,
+                            HookPos.PORT_RETRIEVE, msg)
         if self._connection is not None:
             self._connection.notify_available(self)
         return msg

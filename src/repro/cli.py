@@ -10,6 +10,8 @@ without writing code:
 * ``study`` — execute the scripted user study and print Figure 6;
 * ``trace`` — run one benchmark with the tracer attached and export
   the recorded message/task lifecycle (JSONL or Perfetto);
+* ``metrics`` — run one benchmark with the metric registry attached
+  and dump the final Prometheus text exposition;
 * ``workloads`` — list the available benchmarks.
 """
 
@@ -23,6 +25,7 @@ from typing import List, Optional
 
 from .core import Monitor
 from .gpu import GPUPlatform, GPUPlatformConfig
+from .metrics import rate as metrics_rate
 from .studies import run_study
 from .studies.session import problem_platform_config, problem_workload
 from .workloads import SUITE, suite_small
@@ -94,6 +97,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 0: exit on hang — the trace is "
                             "still exported)")
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a benchmark and dump the Prometheus exposition")
+    metrics.add_argument("workload", choices=sorted(SUITE),
+                         help="benchmark to execute")
+    metrics.add_argument("--chiplets", type=int, default=2,
+                         help="number of GPU chiplets (default 2)")
+    metrics.add_argument("--buggy-l2", action="store_true",
+                         help="enable case study 2's write-buffer bug")
+    metrics.add_argument("--out", type=str, default="",
+                         help="write the exposition here instead of "
+                              "stdout")
+    metrics.add_argument("--hang-wait", type=float, default=0.0,
+                         help="seconds to keep a hung simulation alive "
+                              "(default 0: exit on hang — metrics are "
+                              "still dumped)")
+
     sub.add_parser("workloads", help="list available benchmarks")
     return parser
 
@@ -126,13 +146,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "ok", platform.run(hang_wait=args.hang_wait)))
     start = time.monotonic()
     thread.start()
+    last_wall, last_events = start, 0
     while thread.is_alive():
         thread.join(timeout=args.progress_interval)
         kernel = run.kernels[0]
         state = platform.simulation.run_state
+        wall = time.monotonic()
+        events = platform.engine.event_count
+        kips = metrics_rate(events - last_events,
+                            wall - last_wall) / 1000.0
+        last_wall, last_events = wall, events
         print(f"t={platform.simulation.now * 1e6:9.2f}us "
               f"state={state:9s} "
-              f"wgs={kernel.completed}/{kernel.total}")
+              f"wgs={kernel.completed}/{kernel.total} "
+              f"{kips:8.1f} kevents/s")
         if state == "hung" and args.hang_wait == 0.0:
             break
     thread.join()
@@ -231,6 +258,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .metrics import SimMetrics, expose
+    config = GPUPlatformConfig.small(
+        num_chiplets=args.chiplets,
+        l2_write_buffer_bug=args.buggy_l2)
+    workload = suite_small()[args.workload]
+    platform = GPUPlatform(config)
+    workload.enqueue(platform.driver)
+
+    sim_metrics = SimMetrics(platform.simulation)
+    sim_metrics.start()
+    try:
+        ok = platform.run(hang_wait=args.hang_wait)
+    finally:
+        # A hung run's final counters are exactly what to look at.
+        sim_metrics.stop()
+    state = "completed" if ok else platform.simulation.run_state
+    text = expose(sim_metrics.registry)
+    if args.out:
+        import pathlib
+        pathlib.Path(args.out).write_text(text)
+        print(f"{state}: wrote exposition "
+              f"({len(sim_metrics.registry.names)} families) "
+              f"to {args.out}")
+    else:
+        print(text, end="")
+        print(f"# run {state}, "
+              f"t={platform.simulation.now * 1e6:.2f}us",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     for name, factory in sorted(SUITE.items()):
         workload = factory()
@@ -251,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "study": _cmd_study,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "workloads": _cmd_workloads,
     }[args.command]
     return handler(args)

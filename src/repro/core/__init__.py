@@ -22,10 +22,12 @@ from .alerts import AlertManager, AlertRule
 from .bottleneck import BufferAnalyzer, BufferRow
 from .client import RTMClient, RTMClientError
 from .export import (
+    METRIC,
     RecordedSeries,
     SeriesRecorder,
     export_watches_csv,
     load_recorded_series,
+    metric_target,
 )
 from .hangdetect import HangDetector, HangStatus
 from .inspector import (
@@ -54,6 +56,7 @@ __all__ = [
     "HangStatus",
     "HISTORY",
     "MAX_WATCHES",
+    "METRIC",
     "Monitor",
     "ProfileReport",
     "ProgressBar",
@@ -72,6 +75,7 @@ __all__ = [
     "discover_buffers",
     "export_watches_csv",
     "load_recorded_series",
+    "metric_target",
     "numeric_value",
     "resolve_path",
     "serialize_component",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import random
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 from urllib.error import HTTPError, URLError
 from urllib.parse import urlencode
 from urllib.request import Request, urlopen
@@ -57,14 +57,20 @@ class RTMClient:
 
     # -- transport ---------------------------------------------------------
     def _call(self, method: str, endpoint: str,
-              params: Optional[Dict[str, Any]] = None) -> Any:
+              params: Optional[Dict[str, Any]] = None,
+              parse_json: bool = True) -> Any:
         url = f"{self.base}{endpoint}"
         if params:
             url += "?" + urlencode(params)
         attempts = 1 + (self.max_retries if method == "GET" else 0)
         for attempt in range(attempts):
             try:
-                return self._request(method, endpoint, url)
+                # Positional-compatible: tests stub _request with the
+                # three-argument signature.
+                if parse_json:
+                    return self._request(method, endpoint, url)
+                return self._request(method, endpoint, url,
+                                     parse_json=False)
             except RTMClientError:
                 raise  # server verdict (HTTP status) — never retry
             except (URLError, TimeoutError, ConnectionError) as exc:
@@ -76,11 +82,13 @@ class RTMClient:
                 delay = self.backoff * (2 ** attempt)
                 self._sleep(delay * (1.0 + random.uniform(0.0, 0.5)))
 
-    def _request(self, method: str, endpoint: str, url: str) -> Any:
+    def _request(self, method: str, endpoint: str, url: str,
+                 parse_json: bool = True) -> Any:
         request = Request(url, method=method)
         try:
             with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode())
+                body = response.read().decode()
+                return json.loads(body) if parse_json else body
         except HTTPError as exc:
             try:
                 detail = json.loads(exc.read().decode()).get("error", "")
@@ -209,6 +217,88 @@ class RTMClient:
         if path is not None:
             params["path"] = path
         return self._get("/api/trace/export", **params)
+
+    # -- metrics -------------------------------------------------------------
+    def metrics_snapshot(self, delta: bool = False,
+                         names: Optional[str] = None) -> Dict[str, Any]:
+        """The registry as JSON (GET — retried like any view).  With
+        ``delta=True`` counters/histograms are differences since the
+        previous delta request."""
+        params: Dict[str, Any] = {}
+        if delta:
+            params["delta"] = 1
+        if names is not None:
+            params["names"] = names
+        return self._get("/api/metrics", **params)["metrics"]
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition of ``/metrics``."""
+        return self._call("GET", "/metrics", parse_json=False)
+
+    def metrics_start(self, **config) -> Dict[str, Any]:
+        """Attach simulation instrumentation.  POST — never retried."""
+        return self._post("/api/metrics", action="start", **config)
+
+    def metrics_stop(self) -> Dict[str, Any]:
+        return self._post("/api/metrics", action="stop")
+
+    def metrics_stream(self, interval: float = 0.5,
+                       max_events: Optional[int] = None,
+                       names: Optional[str] = None,
+                       attach: bool = True
+                       ) -> Iterator[Dict[str, Any]]:
+        """Iterate Server-Sent Events from ``/api/stream``.
+
+        Establishing the connection follows the GET retry rules
+        (idempotent, transient transport errors backed off); once the
+        stream is open a broken connection simply ends the iterator —
+        re-calling resumes with fresh snapshots.  Pass ``attach=False``
+        to observe overview/resources without attaching simulation
+        instrumentation (the metrics dict then only carries server-side
+        families).
+        """
+        params: Dict[str, Any] = {"interval": interval}
+        if max_events is not None:
+            params["count"] = max_events
+        if names is not None:
+            params["names"] = names
+        if not attach:
+            params["attach"] = "0"
+        url = f"{self.base}/api/stream?" + urlencode(params)
+        attempts = 1 + self.max_retries
+        response = None
+        for attempt in range(attempts):
+            try:
+                response = urlopen(Request(url, method="GET"),
+                                   timeout=self.timeout)
+                break
+            except HTTPError as exc:
+                raise RTMClientError(
+                    f"GET /api/stream -> {exc.code}") from exc
+            except (URLError, TimeoutError, ConnectionError) as exc:
+                if attempt == attempts - 1:
+                    raise RTMClientError(
+                        f"GET /api/stream: {exc} "
+                        f"(after {attempt + 1} attempts)") from exc
+                self.retry_count += 1
+                delay = self.backoff * (2 ** attempt)
+                self._sleep(delay * (1.0 + random.uniform(0.0, 0.5)))
+        return self._iter_sse(response)
+
+    @staticmethod
+    def _iter_sse(response) -> Iterator[Dict[str, Any]]:
+        data_lines: List[str] = []
+        try:
+            with response:
+                for raw in response:
+                    line = raw.decode().rstrip("\r\n")
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+                    elif not line and data_lines:
+                        yield json.loads("\n".join(data_lines))
+                        data_lines = []
+        except (URLError, TimeoutError, ConnectionError, OSError):
+            return  # stream ended; caller may reconnect
 
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:

@@ -21,6 +21,53 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .client import RTMClient
 from .timeseries import ValueMonitor
 
+#: Pseudo-component marking a target as a registry metric, not a
+#: component value path.
+METRIC = "metric"
+
+
+def metric_target(spec: str) -> Tuple[str, str]:
+    """A recorder target naming a registry metric.
+
+    *spec* is a family name, optionally with labels:
+    ``"rtm_engine_events_total"`` or
+    ``"rtm_cache_hits_total{component=GPU1.L2[0]}"``.  Recorded series
+    and live metrics share one namespace: anything visible at
+    ``/api/metrics`` can be recorded by name.
+    """
+    return (METRIC, spec)
+
+
+def _parse_metric_spec(spec: str) -> Tuple[str, Dict[str, str]]:
+    name, sep, rest = spec.partition("{")
+    labels: Dict[str, str] = {}
+    if sep:
+        body = rest.rstrip("}")
+        for pair in filter(None, body.split(",")):
+            key, _, value = pair.partition("=")
+            labels[key.strip()] = value.strip().strip('"')
+    return name.strip(), labels
+
+
+def _resolve_metric(snapshot: Dict, spec: str) -> Optional[float]:
+    """Find *spec* in a ``/api/metrics`` snapshot; None if absent.
+
+    Label matching is by subset: every label in the spec must match,
+    extra sample labels are ignored.  Histograms resolve to their
+    observation count.
+    """
+    name, wanted = _parse_metric_spec(spec)
+    family = snapshot.get(name)
+    if family is None:
+        return None
+    for sample in family.get("samples", []):
+        labels = sample.get("labels", {})
+        if all(labels.get(k) == v for k, v in wanted.items()):
+            if family.get("type") == "histogram":
+                return float(sample.get("count", 0))
+            return sample.get("value")
+    return None
+
 
 @dataclass
 class RecordedSeries:
@@ -50,7 +97,9 @@ class SeriesRecorder:
         client:
             Connected API client.
         targets:
-            (component name, value path) pairs to record.
+            (component name, value path) pairs to record.  A pair whose
+            component is :data:`METRIC` (see :func:`metric_target`)
+            records a registry metric by name instead.
         interval:
             Wall-clock polling period in seconds.
         """
@@ -83,8 +132,31 @@ class SeriesRecorder:
         self.stop()
 
     def sample_once(self) -> None:
-        """Take one sample of every target (also usable standalone)."""
+        """Take one sample of every target (also usable standalone).
+
+        Metric targets share a single ``/api/metrics`` snapshot per
+        sampling round, timestamped with the simulation time the
+        registry itself publishes (wall time when no simulation
+        instrumentation is attached).
+        """
+        snapshot = None
+        if any(s.component == METRIC for s in self.series):
+            try:
+                snapshot = self.client.metrics_snapshot()
+            except Exception:
+                snapshot = None
+        t_metric = time.monotonic()
+        if snapshot:
+            family = snapshot.get("rtm_engine_sim_time_seconds")
+            if family and family.get("samples"):
+                t_metric = family["samples"][0]["value"]
         for series in self.series:
+            if series.component == METRIC:
+                if snapshot is None:
+                    continue
+                series.points.append(
+                    (t_metric, _resolve_metric(snapshot, series.path)))
+                continue
             try:
                 data = self.client._get("/api/value",
                                         component=series.component,

@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+from ..metrics import MetricRegistry
 from .bottleneck import BufferAnalyzer, BufferRow
 
 
@@ -51,7 +52,8 @@ class HangDetector:
     def __init__(self, simulation, analyzer: BufferAnalyzer,
                  stall_threshold: float = 2.0,
                  cpu_threshold: float = 50.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 registry: Optional[MetricRegistry] = None):
         """
         Parameters
         ----------
@@ -78,6 +80,14 @@ class HangDetector:
         self.clock = clock
         # (wall, sim_time) history; a couple hundred points suffice.
         self._history: Deque[Tuple[float, float]] = deque(maxlen=512)
+        self._g_stalled = self._g_hung = None
+        if registry is not None:
+            self._g_stalled = registry.gauge(
+                "rtm_hang_stalled_seconds",
+                "Wall seconds since simulation time last advanced.")
+            self._g_hung = registry.gauge(
+                "rtm_hang_hung",
+                "1 while the hang heuristic's verdict is hung, else 0.")
 
     def record(self, cpu_percent: float = 0.0) -> None:
         """Append a snapshot (called by the monitor's sampler thread)."""
@@ -115,5 +125,8 @@ class HangDetector:
             hung = (stalled >= self.stall_threshold
                     and cpu < self.cpu_threshold)
         stuck = self.analyzer.non_empty() if hung else []
+        if self._g_stalled is not None:
+            self._g_stalled.set(stalled)
+            self._g_hung.set(1.0 if hung else 0.0)
         return HangStatus(hung, stalled, self.simulation.engine.now,
                           state, cpu, stuck)

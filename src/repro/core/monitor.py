@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional
 from ..akita.component import Component, TickingComponent
 from ..akita.engine import Engine
 from ..akita.simulation import Simulation
+from ..metrics import MetricRegistry, SimMetrics
 from .alerts import AlertManager, AlertRule
 from .bottleneck import BufferAnalyzer
 from .hangdetect import HangDetector, HangStatus
@@ -59,7 +60,12 @@ class Monitor:
         self._components: Dict[str, Any] = {}
         self._bars: Dict[int, ProgressBar] = {}
         self.analyzer = BufferAnalyzer()
-        self.values = ValueMonitor()
+        # The unified registry: every number the monitor publishes —
+        # watches, resources, hang state, HTTP latency, simulation
+        # vitals — lives here, scrapeable at /metrics.  Always present;
+        # it costs nothing until something records into it.
+        self.metrics = MetricRegistry()
+        self.values = ValueMonitor(registry=self.metrics)
         self.alerts = AlertManager()
         self.profiler = SamplingProfiler()
         self._abort_on_hang = False
@@ -68,6 +74,7 @@ class Monitor:
         self.injector = None  # set by attach_injector / ensure_injector
         self.watchdog = None  # set by attach_watchdog / enable_watchdog
         self.tracer = None  # set by attach_tracer / ensure_tracer
+        self.sim_metrics: Optional[SimMetrics] = None
         self._server = None  # set by start_server
         self._driver = None
         self.sample_interval = sample_interval
@@ -82,7 +89,7 @@ class Monitor:
     def register_engine(self, engine: Engine) -> None:
         """Link the engine that manages simulation progress."""
         self._engine = engine
-        self.resources = ResourceMonitor(engine)
+        self.resources = ResourceMonitor(engine, registry=self.metrics)
 
     def register_component(self, component: Any) -> None:
         """Start monitoring *component*: its fields become inspectable
@@ -100,7 +107,8 @@ class Monitor:
         self.register_engine(simulation.engine)
         for component in simulation.components:
             self.register_component(component)
-        self.hang = HangDetector(simulation, self.analyzer)
+        self.hang = HangDetector(simulation, self.analyzer,
+                                 registry=self.metrics)
         self.alerts = AlertManager(abort=simulation.abort)
 
     def attach_driver(self, driver) -> None:
@@ -163,6 +171,29 @@ class Monitor:
                     f"backend must be 'ring' or 'sqlite', got {backend!r}")
             self.tracer = Tracer(self._simulation, store, include=include)
         return self.tracer
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def attach_sim_metrics(self, sim_metrics: SimMetrics) -> None:
+        """Expose *sim_metrics* over ``/metrics``; replaces (and stops)
+        any previous instrumentation."""
+        if self.sim_metrics is not None \
+                and self.sim_metrics is not sim_metrics:
+            self.sim_metrics.stop()
+        self.sim_metrics = sim_metrics
+
+    def ensure_sim_metrics(self) -> SimMetrics:
+        """Return the simulation instrumentation, creating (but not
+        starting) it on first use.  The registry is the monitor's own,
+        so simulation vitals and monitor-side families share one
+        namespace."""
+        if self.sim_metrics is None:
+            if self._simulation is None:
+                raise RuntimeError(
+                    "simulation metrics need a registered simulation")
+            self.sim_metrics = SimMetrics(self._simulation, self.metrics)
+        return self.sim_metrics
 
     def attach_watchdog(self, watchdog) -> None:
         """Expose *watchdog* over ``/api/watchdog``; replaces (and
@@ -425,6 +456,8 @@ class Monitor:
             self.watchdog.stop()
         if self.tracer is not None:
             self.tracer.stop()
+        if self.sim_metrics is not None:
+            self.sim_metrics.stop()
         if self.profiler.running:
             self.profiler.stop()
 

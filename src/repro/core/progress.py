@@ -11,7 +11,10 @@ simulation never has to call back into the monitor.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Callable, Dict, Optional, Tuple
+
+from ..metrics import rate as _rate
 
 #: () -> (completed, ongoing, total)
 ProgressProvider = Callable[[], Tuple[int, int, int]]
@@ -30,6 +33,8 @@ class ProgressBar:
         self._completed = 0
         self._ongoing = 0
         self._provider = provider
+        self._rate_wall = time.monotonic()
+        self._rate_completed = self.counts[0]
 
     # -- updates (static bars) ------------------------------------------
     def update(self, completed: int, ongoing: int = 0,
@@ -72,6 +77,19 @@ class ProgressBar:
     def fraction(self) -> float:
         completed, _, total = self.counts
         return completed / total if total else 0.0
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Completed items per wall second since the previous call
+        (or bar creation).  Shares :func:`repro.metrics.rate` with the
+        resource monitor and the CLI so every throughput number in the
+        system means the same thing."""
+        wall = time.monotonic() if now is None else now
+        completed = self.counts[0]
+        value = _rate(completed - self._rate_completed,
+                      wall - self._rate_wall)
+        self._rate_wall = wall
+        self._rate_completed = completed
+        return value
 
     def to_dict(self) -> Dict:
         completed, ongoing, total = self.counts

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from ..metrics import MetricRegistry, rate
+
 
 def _rss_bytes() -> int:
     """Resident set size of this process.
@@ -54,12 +56,24 @@ class ResourceSample:
 class ResourceMonitor:
     """Delta-based sampler of CPU%, RSS and event throughput."""
 
-    def __init__(self, engine=None):
+    def __init__(self, engine=None,
+                 registry: Optional[MetricRegistry] = None):
         self._engine = engine
         self._last_wall = time.monotonic()
         self._last_cpu = self._cpu_seconds()
         self._last_events = engine.event_count if engine else 0
         self._last_sample: Optional[ResourceSample] = None
+        self._g_cpu = self._g_rss = self._g_eps = None
+        if registry is not None:
+            self._g_cpu = registry.gauge(
+                "rtm_process_cpu_percent",
+                "CPU utilization of the simulation process.")
+            self._g_rss = registry.gauge(
+                "rtm_process_rss_bytes",
+                "Resident set size of the simulation process.")
+            self._g_eps = registry.gauge(
+                "rtm_sim_events_per_second",
+                "Engine event throughput over the last sample window.")
 
     @staticmethod
     def _cpu_seconds() -> float:
@@ -76,10 +90,13 @@ class ResourceMonitor:
             return self._last_sample
         cpu = self._cpu_seconds()
         events = self._engine.event_count if self._engine else 0
-        cpu_pct = 100.0 * (cpu - self._last_cpu) / elapsed \
-            if elapsed > 0 else 0.0
-        eps = (events - self._last_events) / elapsed if elapsed > 0 else 0.0
+        cpu_pct = 100.0 * rate(cpu - self._last_cpu, elapsed)
+        eps = rate(events - self._last_events, elapsed)
         self._last_wall, self._last_cpu = now, cpu
         self._last_events = events
         self._last_sample = ResourceSample(now, cpu_pct, _rss_bytes(), eps)
+        if self._g_cpu is not None:
+            self._g_cpu.set(cpu_pct)
+            self._g_rss.set(float(self._last_sample.rss_bytes))
+            self._g_eps.set(eps)
         return self._last_sample

@@ -31,6 +31,10 @@ POST     /api/faults?kind&target&...     arm a fault (drop/delay/stall...)
 DELETE   /api/faults?id=I                disarm a fault
 GET      /api/watchdog                   supervision state + post-mortem
 POST     /api/watchdog?action=start|stop control the watchdog
+GET      /metrics                        Prometheus text exposition
+GET      /api/metrics                    registry snapshot (?delta=1)
+GET      /api/stream                     SSE: periodic snapshot pushes
+POST     /api/metrics?action=start|stop  attach/detach sim instrumentation
 GET      /api/trace                      tracer status + store stats
 GET      /api/trace/query?component&...  filtered trace events
 GET      /api/trace/follow?msg_id=I      one message's hops + path
@@ -63,10 +67,25 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..metrics import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..metrics import expose as _expose
+from ..metrics import snapshot_delta as _snapshot_delta
+
 STATIC_DIR = Path(__file__).parent / "static"
+
+#: HTTP handler latency buckets (seconds).
+_HTTP_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0)
+
+
+def _endpoint_label(path: str) -> str:
+    """Bound label cardinality: API paths verbatim, static collapsed."""
+    if path.startswith("/api/") or path == "/metrics":
+        return path
+    return "/static"
 
 _CONTENT_TYPES = {
     ".html": "text/html; charset=utf-8",
@@ -147,9 +166,42 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    # -- self-instrumentation ------------------------------------------------
+    def _record_http(self, method: str, endpoint: str,
+                     seconds: float) -> None:
+        """Publish this request into the monitor's registry — the HTTP
+        slice of Figure 7's overhead decomposition, live."""
+        registry = getattr(self.monitor, "metrics", None)
+        if registry is None:
+            return
+        registry.counter(
+            "rtm_http_requests_total",
+            "HTTP requests served, by method and endpoint.",
+            ("method", "endpoint")).labels(method, endpoint).inc()
+        registry.histogram(
+            "rtm_http_request_seconds",
+            "HTTP request handling latency, by endpoint.",
+            ("endpoint",),
+            buckets=_HTTP_BUCKETS).labels(endpoint).observe(seconds)
+
     # -- GET -----------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path, params = self._query()
+        if path == "/api/stream":
+            # Long-lived: excluded from request-latency accounting.
+            try:
+                self._get_stream(params)
+            except _BadRequest as exc:
+                self._send_error_json(str(exc), 400)
+            return
+        t0 = perf_counter()
+        try:
+            self._route_get(path, params)
+        finally:
+            self._record_http("GET", _endpoint_label(path),
+                              perf_counter() - t0)
+
+    def _route_get(self, path: str, params: Dict[str, str]) -> None:
         monitor = self.monitor
         try:
             if path == "/api/overview":
@@ -220,6 +272,10 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     self._send_json(
                         {"ports": monitor.port_throughput(name)})
+            elif path == "/metrics":
+                self._get_prometheus()
+            elif path == "/api/metrics":
+                self._get_metrics(params)
             elif path == "/api/trace":
                 tracer = monitor.tracer
                 self._send_json({
@@ -255,6 +311,125 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json({"component": name, "path": path,
                          "time": monitor.now(),
                          "value": numeric_value(raw)})
+
+    # -- metrics -------------------------------------------------------------
+    def _ensure_sim_metrics_started(self) -> None:
+        """Auto-attach simulation instrumentation on first scrape, the
+        way a Prometheus user expects /metrics to just work.  Monitors
+        without a registered simulation still expose their own
+        (monitor-side) families."""
+        monitor = self.monitor
+        try:
+            monitor.ensure_sim_metrics().start()
+        except RuntimeError:
+            pass
+
+    def _get_prometheus(self) -> None:
+        self._ensure_sim_metrics_started()
+        body = _expose(self.monitor.metrics).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", _PROM_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _metrics_snapshot(self, params: Dict[str, str]) -> Dict[str, Any]:
+        import re
+        names = params.get("names")
+        if names is not None:
+            try:
+                re.compile(names)
+            except re.error as exc:
+                raise _BadRequest(f"bad names regex: {exc}") from None
+        return self.monitor.metrics.snapshot(names)
+
+    def _get_metrics(self, params: Dict[str, str]) -> None:
+        self._ensure_sim_metrics_started()
+        current = self._metrics_snapshot(params)
+        want_delta = params.get("delta", "") not in ("", "0", "false")
+        payload: Dict[str, Any] = {"delta": want_delta}
+        if want_delta:
+            # The previous snapshot lives on the per-server handler
+            # class, so deltas span requests but not server restarts.
+            previous = getattr(type(self), "_metrics_prev", None)
+            payload["metrics"] = _snapshot_delta(previous or {}, current)
+            type(self)._metrics_prev = current
+        else:
+            payload["metrics"] = current
+        self._send_json(payload)
+
+    def _get_stream(self, params: Dict[str, str]) -> None:
+        """Server-Sent Events: push snapshots until the client leaves,
+        ``count`` is reached, or the server stops."""
+        monitor = self.monitor
+        interval = max(0.05, _float_param(params, "interval", 0.5))
+        count = _int_param(params, "count", 0)
+        import re
+        names = params.get("names")
+        if names is not None:
+            try:
+                re.compile(names)
+            except re.error as exc:
+                raise _BadRequest(f"bad names regex: {exc}") from None
+        # attach=0 lets passive consumers (the dashboard header) stream
+        # overview/resources without attaching simulation hooks — an open
+        # browser tab must not perturb the overhead it displays.
+        if params.get("attach", "1") not in ("0", "false"):
+            self._ensure_sim_metrics_started()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        stopping = getattr(self.server, "stopping", None)
+        sent = 0
+        try:
+            while True:
+                payload: Dict[str, Any] = {
+                    "metrics": monitor.metrics.snapshot(names)}
+                try:
+                    payload["overview"] = monitor.overview()
+                except RuntimeError:
+                    pass
+                if monitor.resources is not None:
+                    payload["resources"] = \
+                        monitor.resources.sample().to_dict()
+                self.wfile.write(
+                    b"data: " + json.dumps(payload).encode() + b"\n\n")
+                self.wfile.flush()
+                sent += 1
+                if count and sent >= count:
+                    break
+                if stopping is not None:
+                    if stopping.wait(interval):
+                        break
+                else:  # pragma: no cover - servers always set one
+                    import time as _time
+                    _time.sleep(interval)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to report
+
+    def _post_metrics(self, params: Dict[str, str]) -> None:
+        monitor = self.monitor
+        action = params.get("action", "")
+        if action == "start":
+            try:
+                sim_metrics = monitor.ensure_sim_metrics()
+            except RuntimeError as exc:
+                raise _BadRequest(str(exc)) from None
+            sim_metrics.start()
+            self._send_json(sim_metrics.status())
+        elif action == "stop":
+            if monitor.sim_metrics is None:
+                self._send_error_json(
+                    "no simulation metrics attached", 404)
+                return
+            monitor.sim_metrics.stop()
+            self._send_json(monitor.sim_metrics.status())
+        else:
+            raise _BadRequest(
+                f"action must be 'start' or 'stop', got {action!r}")
 
     # -- trace ---------------------------------------------------------------
     def _require_tracer(self):
@@ -363,6 +538,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST ----------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802
         path, params = self._query()
+        t0 = perf_counter()
+        try:
+            self._route_post(path, params)
+        finally:
+            self._record_http("POST", _endpoint_label(path),
+                              perf_counter() - t0)
+
+    def _route_post(self, path: str, params: Dict[str, str]) -> None:
         monitor = self.monitor
         try:
             if path == "/api/pause":
@@ -425,6 +608,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_watchdog(params)
             elif path == "/api/trace":
                 self._post_trace(params)
+            elif path == "/api/metrics":
+                self._post_metrics(params)
             else:
                 self._send_error_json("not found", 404)
         except _BadRequest as exc:
@@ -493,6 +678,14 @@ class _Handler(BaseHTTPRequestHandler):
     # -- DELETE -------------------------------------------------------------
     def do_DELETE(self) -> None:  # noqa: N802
         path, params = self._query()
+        t0 = perf_counter()
+        try:
+            self._route_delete(path, params)
+        finally:
+            self._record_http("DELETE", _endpoint_label(path),
+                              perf_counter() - t0)
+
+    def _route_delete(self, path: str, params: Dict[str, str]) -> None:
         try:
             if path == "/api/watch":
                 watch_id = _int_param(params, "id", 0)
@@ -532,6 +725,9 @@ class RTMServer:
     def __init__(self, monitor, host: str = "127.0.0.1", port: int = 0):
         handler = type("BoundHandler", (_Handler,), {"monitor": monitor})
         self._httpd = ThreadingHTTPServer((host, port), handler)
+        # SSE streams block on this event between pushes, so stop()
+        # unparks them immediately instead of waiting out an interval.
+        self._httpd.stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.host = host
         self.port = self._httpd.server_address[1]
@@ -546,6 +742,7 @@ class RTMServer:
         self._thread.start()
 
     def stop(self) -> None:
+        self._httpd.stopping.set()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

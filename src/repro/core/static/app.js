@@ -30,11 +30,14 @@ function fmtTime(t) {
   return (t * 1e9).toFixed(1) + " ns";
 }
 
+function renderOverview(o) {
+  $("sim-time").textContent = fmtTime(o.now);
+  $("run-state").textContent = o.paused ? "paused" : o.run_state;
+}
+
 async function refreshOverview() {
   try {
-    const o = await api("/api/overview");
-    $("sim-time").textContent = fmtTime(o.now);
-    $("run-state").textContent = o.paused ? "paused" : o.run_state;
+    renderOverview(await api("/api/overview"));
   } catch (e) { /* server going away is fine */ }
 }
 
@@ -48,17 +51,25 @@ $("throttle").onchange = (e) =>
 /* ------------------------------------------------------------------ *
  * Resources + hang state (Figure 2 A, tasks T2/T3)
  * ------------------------------------------------------------------ */
-async function refreshResources() {
+function renderResources(r) {
+  $("res-cpu").textContent = r.cpu_percent.toFixed(1) + " %";
+  $("res-mem").textContent = r.rss_mb.toFixed(1) + " MB";
+  $("res-eps").textContent = r.events_per_second.toLocaleString();
+}
+
+async function refreshHang() {
   try {
-    const r = await api("/api/resources");
-    $("res-cpu").textContent = r.cpu_percent.toFixed(1) + " %";
-    $("res-mem").textContent = r.rss_mb.toFixed(1) + " MB";
-    $("res-eps").textContent = r.events_per_second.toLocaleString();
     const h = await api("/api/hang");
     const el = $("hang-state");
     el.textContent = h.hung
       ? `HUNG (${h.stalled_wall_seconds}s)` : "ok";
     el.style.color = h.hung ? "var(--red)" : "var(--green)";
+  } catch (e) { /* ignore */ }
+}
+
+async function refreshResources() {
+  try {
+    renderResources(await api("/api/resources"));
   } catch (e) { /* ignore */ }
 }
 
@@ -361,13 +372,42 @@ async function refreshProgress() {
 }
 
 /* ------------------------------------------------------------------ *
- * Polling loops
+ * Live updates
+ *
+ * Overview + resources ride one Server-Sent-Events stream
+ * (/api/stream) instead of two polling loops; `names=^$` keeps the
+ * per-event metrics payload empty and `attach=0` leaves simulation
+ * instrumentation alone — a passively open dashboard must not change
+ * what it observes.  If the stream dies (old browser, proxy buffering,
+ * server restart) the original polling intervals take over.
  * ------------------------------------------------------------------ */
+function startHeaderStream() {
+  if (!window.EventSource) { startHeaderPolling(); return; }
+  const es = new EventSource("/api/stream?interval=0.5&names=%5E%24&attach=0");
+  es.onmessage = (ev) => {
+    try {
+      const d = JSON.parse(ev.data);
+      if (d.overview) renderOverview(d.overview);
+      if (d.resources) renderResources(d.resources);
+    } catch (e) { /* malformed frame; skip */ }
+  };
+  es.onerror = () => { es.close(); startHeaderPolling(); };
+}
+
+let headerPolling = false;
+function startHeaderPolling() {
+  if (headerPolling) return;
+  headerPolling = true;
+  setInterval(refreshOverview, 500);
+  setInterval(refreshResources, 1000);
+}
+
 loadTree();
 refreshOverview();
 refreshResources();
-setInterval(refreshOverview, 500);
-setInterval(refreshResources, 1000);
+refreshHang();
+startHeaderStream();
+setInterval(refreshHang, 1000);
 setInterval(refreshProgress, 750);
 setInterval(refreshWatches, 500);
 setInterval(refreshRightPanel, 1500);

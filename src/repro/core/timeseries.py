@@ -7,15 +7,22 @@ is usually limited"); we honour the same bound.
 
 Up to :data:`MAX_WATCHES` watches are active at once (the paper's view
 "plots up to five individual values over time").
+
+Storage lives in the metrics layer: each watch is a labelled child of
+the ``rtm_watch_value`` gauge family, so watched values appear in the
+Prometheus exposition alongside every other metric, and the history
+behind the dashboard's time charts is the gauge child's bounded
+:class:`~repro.metrics.Series` — one namespace, one ring, no private
+sample lists.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..metrics import Gauge, MetricRegistry, Series
 from .inspector import numeric_value, resolve_path
 
 #: Most recent data points kept per watch (paper: 300).
@@ -30,13 +37,25 @@ class ValueWatch:
     """One monitored value and its recent history."""
 
     def __init__(self, component: Any, path: str,
-                 label: Optional[str] = None):
+                 label: Optional[str] = None,
+                 registry: Optional[MetricRegistry] = None):
         self.id = next(_watch_ids)
         self.component = component
         self.path = path
         comp_name = getattr(component, "name", type(component).__name__)
         self.label = label or f"{comp_name}.{path}"
-        self.points: Deque[Tuple[float, float]] = deque(maxlen=HISTORY)
+        self._gauge: Optional[Gauge] = None
+        if registry is not None:
+            self._gauge = registry.gauge(
+                "rtm_watch_value",
+                "Current value of each dashboard watch.",
+                ("watch",), history=HISTORY)
+            self._child = self._gauge.labels(self.label)
+            self._series = self._child.series
+            self._series.clear()  # a re-used label starts fresh
+        else:
+            self._child = None
+            self._series = Series(HISTORY)
 
     def sample(self, now: float) -> Optional[float]:
         """Record the current value at simulation time *now*."""
@@ -47,8 +66,23 @@ class ValueWatch:
         value = numeric_value(raw)
         if value is None:
             return None
-        self.points.append((now, value))
+        if self._child is not None:
+            self._child.set(value, now)
+        else:
+            self._series.append(now, value)
         return value
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """Snapshot of the recent (sim time, value) history."""
+        return self._series.points()
+
+    def release(self) -> None:
+        """Drop this watch's child from the registry (on unwatch)."""
+        if self._gauge is not None:
+            self._gauge.remove(self.label)
+            self._gauge = None
+            self._child = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -62,8 +96,10 @@ class ValueWatch:
 class ValueMonitor:
     """Manages the active watches; thread-safe."""
 
-    def __init__(self, max_watches: int = MAX_WATCHES):
+    def __init__(self, max_watches: int = MAX_WATCHES,
+                 registry: Optional[MetricRegistry] = None):
         self.max_watches = max_watches
+        self.registry = registry
         self._watches: Dict[int, ValueWatch] = {}
         self._lock = threading.Lock()
 
@@ -77,14 +113,19 @@ class ValueMonitor:
         with self._lock:
             while len(self._watches) >= self.max_watches:
                 oldest = min(self._watches)
-                del self._watches[oldest]
-            w = ValueWatch(component, path, label)
+                self._watches.pop(oldest).release()
+            w = ValueWatch(component, path, label,
+                           registry=self.registry)
             self._watches[w.id] = w
             return w
 
     def unwatch(self, watch_id: int) -> bool:
         with self._lock:
-            return self._watches.pop(watch_id, None) is not None
+            watch = self._watches.pop(watch_id, None)
+            if watch is None:
+                return False
+            watch.release()
+            return True
 
     def get(self, watch_id: int) -> Optional[ValueWatch]:
         return self._watches.get(watch_id)

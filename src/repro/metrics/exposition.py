@@ -1,0 +1,93 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders a :class:`~repro.metrics.registry.MetricRegistry` as the plain
+text format every Prometheus-compatible scraper understands::
+
+    # HELP rtm_engine_events_total Events processed by the engine.
+    # TYPE rtm_engine_events_total counter
+    rtm_engine_events_total 123456
+
+Only the subset the registry needs is implemented: counter, gauge and
+histogram families with escaped HELP text and label values, histogram
+``_bucket``/``_sum``/``_count`` series with cumulative ``le`` bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .registry import MetricRegistry
+
+__all__ = ["CONTENT_TYPE", "expose", "format_labels"]
+
+#: The Content-Type header Prometheus expects from a /metrics endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def format_labels(labels: Dict[str, str]) -> str:
+    """``{a="x",b="y"}`` or the empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                     for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _bucket_le(bound: float) -> str:
+    return _format_value(float(bound))
+
+
+def expose(registry: MetricRegistry) -> str:
+    """Render every family in *registry* (collectors run first)."""
+    lines = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} "
+                         f"{_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.type}")
+        for label_values, child in metric.samples():
+            labels = dict(zip(metric.labelnames, label_values))
+            if metric.type == "histogram":
+                _expose_histogram(lines, metric.name, labels, child)
+            else:
+                lines.append(f"{metric.name}{format_labels(labels)} "
+                             f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _expose_histogram(lines, name: str, labels: Dict[str, str],
+                      child) -> None:
+    cumulative = 0
+    for bound, count in zip(child.bounds, child.counts):
+        cumulative += count
+        le_labels = dict(labels)
+        le_labels["le"] = _bucket_le(bound)
+        lines.append(f"{name}_bucket{format_labels(le_labels)} "
+                     f"{cumulative}")
+    cumulative += child.counts[-1]
+    inf_labels = dict(labels)
+    inf_labels["le"] = "+Inf"
+    lines.append(f"{name}_bucket{format_labels(inf_labels)} "
+                 f"{cumulative}")
+    lines.append(f"{name}_sum{format_labels(labels)} "
+                 f"{_format_value(child.sum)}")
+    lines.append(f"{name}_count{format_labels(labels)} {child.count}")

@@ -77,6 +77,36 @@ def test_trace_views_are_retried_like_gets():
     assert client.retry_count == 2
 
 
+def test_metrics_control_posts_are_never_retried():
+    # metrics_start/metrics_stop follow the same POST discipline as the
+    # trace controls: one attempt, no backoff.
+    client = _client(max_retries=5)
+    for call in (client.metrics_start, client.metrics_stop):
+        with pytest.raises(RTMClientError, match="after 1 attempts"):
+            call()
+    assert client.retry_count == 0
+    assert client.sleep_log == []
+
+
+def test_metrics_views_are_retried_like_gets():
+    client = _client(max_retries=2)
+    for call in (client.metrics_snapshot, client.metrics_text):
+        client.retry_count = 0
+        with pytest.raises(RTMClientError, match="after 3 attempts"):
+            call()
+        assert client.retry_count == 2
+
+
+def test_metrics_stream_connection_is_retried():
+    # Opening the SSE stream is an idempotent GET: transient transport
+    # errors back off and retry before giving up.
+    client = _client(max_retries=2)
+    with pytest.raises(RTMClientError, match="after 3 attempts"):
+        client.metrics_stream(max_events=1)
+    assert client.retry_count == 2
+    assert len(client.sleep_log) == 2
+
+
 def test_http_error_status_is_never_retried(monkeypatch):
     client = _client(max_retries=5)
     calls = []

@@ -1,0 +1,93 @@
+"""Prometheus text exposition format conformance."""
+
+import re
+
+from repro.metrics import CONTENT_TYPE, MetricRegistry, expose
+
+
+def test_content_type_is_prometheus_0_0_4():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_counter_help_type_and_sample():
+    reg = MetricRegistry()
+    reg.counter("x_total", "Things counted.").inc(3)
+    text = expose(reg)
+    assert "# HELP x_total Things counted.\n" in text
+    assert "# TYPE x_total counter\n" in text
+    assert "\nx_total 3\n" in text or text.startswith("x_total 3")
+
+
+def test_gauge_sample():
+    reg = MetricRegistry()
+    reg.gauge("depth").set(7.5)
+    assert "depth 7.5" in expose(reg)
+
+
+def test_labels_rendered_and_escaped():
+    reg = MetricRegistry()
+    reg.counter("hits_total", labelnames=("component",)) \
+        .labels('GPU1.L1"odd"\\x').inc()
+    text = expose(reg)
+    assert 'hits_total{component="GPU1.L1\\"odd\\"\\\\x"} 1' in text
+
+
+def test_help_newlines_escaped():
+    reg = MetricRegistry()
+    reg.counter("x_total", "line one\nline two").inc()
+    assert "# HELP x_total line one\\nline two" in expose(reg)
+
+
+def test_histogram_cumulative_buckets_sum_count():
+    reg = MetricRegistry()
+    h = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    text = expose(reg)
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    # integral bounds render Go-client style, without the decimal
+    assert 'lat_seconds_bucket{le="1"} 2' in text  # cumulative
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_sum 5.55" in text
+    assert "lat_seconds_count 3" in text
+
+
+def test_histogram_labels_combine_with_le():
+    reg = MetricRegistry()
+    reg.histogram("occ", labelnames=("component",),
+                  buckets=(0.5,)).labels("CU0").observe(0.2)
+    text = expose(reg)
+    assert 'occ_bucket{component="CU0",le="0.5"} 1' in text
+    assert 'occ_sum{component="CU0"} 0.2' in text
+
+
+def test_integral_floats_render_without_decimal_point():
+    reg = MetricRegistry()
+    reg.counter("n_total").inc(12345.0)
+    assert "n_total 12345\n" in expose(reg)
+
+
+def test_exposition_parses_line_by_line():
+    """Every non-comment line must be `name{labels} value`."""
+    reg = MetricRegistry()
+    reg.counter("a_total", "A.").inc(2)
+    reg.gauge("b", labelnames=("x", "y")).labels("1", "2").set(3.5)
+    reg.histogram("c", buckets=(1.0,)).observe(0.5)
+    line_re = re.compile(
+        r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? [0-9.eE+-]+|\+Inf$")
+    for line in expose(reg).strip().splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            assert line_re.match(line), line
+
+
+def test_empty_registry_exposes_empty_string():
+    assert expose(MetricRegistry()) == ""
+
+
+def test_collectors_run_before_exposition():
+    reg = MetricRegistry()
+    c = reg.counter("pulled_total")
+    reg.add_collector(lambda: c.set(99.0))
+    assert "pulled_total 99" in expose(reg)

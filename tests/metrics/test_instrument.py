@@ -1,0 +1,134 @@
+"""SimMetrics wiring: zero-cost detached, full families attached."""
+
+import pytest
+
+from repro.akita.hooks import HookPos
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.metrics import MetricRegistry, SimMetrics, expose
+from repro.workloads import suite_small
+
+
+@pytest.fixture()
+def platform():
+    p = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+    suite_small()["fir"].enqueue(p.driver)
+    return p
+
+
+def test_construction_attaches_nothing(platform):
+    """Zero-cost discipline: building SimMetrics must not hook the
+    engine or any component — only start() does."""
+    SimMetrics(platform.simulation)
+    assert not platform.simulation.engine._hooks
+    assert all(not c._hooks for c in platform.simulation.components)
+
+
+def test_stop_detaches_everything(platform):
+    sm = SimMetrics(platform.simulation)
+    sm.start()
+    assert platform.simulation.engine._hooks
+    sm.stop()
+    assert not platform.simulation.engine._hooks
+    assert all(not c._hooks for c in platform.simulation.components)
+
+
+def test_start_stop_idempotent(platform):
+    sm = SimMetrics(platform.simulation)
+    sm.start()
+    sm.start()
+    assert len(platform.simulation.engine._hooks) == 1
+    sm.stop()
+    sm.stop()
+    assert not platform.simulation.engine._hooks
+
+
+def test_run_populates_all_layer_families(platform):
+    sm = SimMetrics(platform.simulation)
+    sm.start()
+    assert platform.run()
+    sm.stop()
+    reg = sm.registry
+    snap = reg.snapshot()
+
+    # Engine layer.
+    engine = platform.simulation.engine
+    events = snap["rtm_engine_events_total"]["samples"][0]["value"]
+    assert events == engine.event_count > 0
+    assert snap["rtm_engine_sim_time_seconds"]["samples"][0][
+        "value"] == engine.now
+    assert snap["rtm_engine_event_wall_seconds_total"]["samples"][0][
+        "value"] > 0
+    assert snap["rtm_engine_pass_wall_seconds"]["samples"][0][
+        "count"] >= 1
+
+    # Port/buffer layer.
+    sent = sum(s["value"] for s in
+               snap["rtm_port_messages_sent_total"]["samples"])
+    delivered = sum(s["value"] for s in
+                    snap["rtm_port_messages_delivered_total"]["samples"])
+    assert sent > 0 and delivered > 0
+    occupancy = snap["rtm_buffer_occupancy_ratio"]["samples"]
+    assert sum(s["count"] for s in occupancy) > 0
+    for sample in occupancy:
+        # snapshot buckets are per-bin: they sum to the count, and a
+        # fullness ratio can never land past the 1.0 bound
+        assert sum(sample["buckets"].values()) == sample["count"]
+        assert sample["buckets"]["+Inf"] == 0
+
+    # GPU layer: caches, CUs, RDMA (2 chiplets => remote traffic).
+    assert sum(s["value"] for s in
+               snap["rtm_cache_hits_total"]["samples"]) > 0
+    assert sum(s["value"] for s in
+               snap["rtm_cu_wgs_completed_total"]["samples"]) > 0
+    rdma_components = {s["labels"]["component"] for s in
+                       snap["rtm_rdma_forwarded_total"]["samples"]}
+    assert any("RDMA" in name for name in rdma_components)
+
+    # Monitor-overhead layer: per-hook-position time and count.
+    by_pos = {s["labels"]["position"]: s["value"] for s in
+              snap["rtm_hook_callbacks_total"]["samples"]}
+    assert by_pos[HookPos.BEFORE_EVENT.value] == events
+    assert by_pos[HookPos.AFTER_EVENT.value] == events
+    assert by_pos[HookPos.PORT_DELIVER.value] > 0
+    seconds_by_pos = {s["labels"]["position"]: s["value"] for s in
+                      snap["rtm_hook_callback_seconds_total"]["samples"]}
+    assert seconds_by_pos[HookPos.BEFORE_EVENT.value] > 0
+
+
+def test_exposition_during_run_includes_required_families(platform):
+    """The acceptance-criteria family list, from the exposition text."""
+    sm = SimMetrics(platform.simulation)
+    sm.start()
+    assert platform.run()
+    text = expose(sm.registry)
+    for family in ("rtm_engine_events_total",
+                   "rtm_buffer_occupancy_ratio",
+                   "rtm_cache_hits_total",
+                   "rtm_rdma_inflight",
+                   "rtm_hook_callback_seconds_total"):
+        assert family in text, family
+    sm.stop()
+
+
+def test_shared_registry(platform):
+    """SimMetrics can publish into an externally owned registry."""
+    reg = MetricRegistry()
+    reg.counter("my_own_total").inc()
+    sm = SimMetrics(platform.simulation, reg)
+    assert sm.registry is reg
+    sm.start()
+    platform.simulation.engine.run_until(1e-9)
+    sm.stop()
+    assert "my_own_total" in reg.names
+    assert "rtm_engine_events_total" in reg.names
+
+
+def test_stop_preserves_final_totals(platform):
+    sm = SimMetrics(platform.simulation)
+    sm.start()
+    assert platform.run()
+    sm.stop()
+    # The collector is gone, but the last collection ran at stop().
+    snap = sm.registry.snapshot()
+    assert snap["rtm_engine_events_total"]["samples"][0]["value"] == \
+        platform.simulation.engine.event_count

@@ -102,6 +102,25 @@ def test_trace_include_filter(capsys, tmp_path):
     assert all("CU[" in ev.component for ev in events)
 
 
+def test_metrics_writes_exposition_file(capsys, tmp_path):
+    out_path = tmp_path / "fir.prom"
+    assert main(["metrics", "fir", "--chiplets", "1",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote exposition" in out
+    text = out_path.read_text()
+    assert "# TYPE rtm_engine_events_total counter" in text
+    assert "rtm_cache_hits_total" in text
+    assert "rtm_hook_callback_seconds_total" in text
+
+
+def test_metrics_dumps_to_stdout(capsys):
+    assert main(["metrics", "fir", "--chiplets", "1"]) == 0
+    captured = capsys.readouterr()
+    assert "rtm_engine_events_total" in captured.out
+    assert "# run completed" in captured.err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
