@@ -1,0 +1,87 @@
+"""Fleet orchestration throughput and gateway scrape latency.
+
+Not a paper figure — the question a sweep user asks: how much wall
+time does the orchestration layer itself add?  Asserted shape, not
+absolute numbers:
+
+* a pool drains its queue completely, and running W workers is not
+  slower than running the same queue on one worker (the scheduler,
+  control channel and per-attempt subprocess startup must not eat the
+  parallelism);
+* one federated ``/metrics`` scrape over the finished campaign (all
+  expositions served from the control-channel cache) answers in
+  well under a second.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import RTMClient
+from repro.fleet import FleetGateway, FleetManager, JobQueue, JobSpec
+
+pytestmark = pytest.mark.slow
+
+
+def _drain(num_jobs, num_workers, prefix):
+    queue = JobQueue()
+    queue.submit_all([JobSpec(f"{prefix}-{i}", "fir", chiplets=1)
+                      for i in range(num_jobs)])
+    manager = FleetManager(queue, num_workers=num_workers)
+    gateway = FleetGateway(manager)
+    gateway.start()
+    start = time.perf_counter()
+    manager.start()
+    drained = manager.wait(timeout=300.0)
+    wall = time.perf_counter() - start
+    assert drained, f"{prefix}: queue did not drain"
+    assert queue.counts()["completed"] == num_jobs
+    return manager, gateway, wall
+
+
+def test_parallel_drain_is_not_slower_than_serial():
+    m1, g1, serial = _drain(num_jobs=4, num_workers=1, prefix="serial")
+    m1.stop()
+    g1.stop()
+    m2, g2, parallel = _drain(num_jobs=4, num_workers=2,
+                              prefix="parallel")
+    m2.stop()
+    g2.stop()
+
+    speedup = serial / parallel
+    summary = (f"=== Fleet throughput (4 x fir-c1) ===\n"
+               f"1 worker : {serial:7.2f}s  "
+               f"({4 / serial:.2f} jobs/s)\n"
+               f"2 workers: {parallel:7.2f}s  "
+               f"({4 / parallel:.2f} jobs/s)\n"
+               f"speedup  : {speedup:.2f}x\n")
+    print("\n" + summary)
+    Path("fleet_throughput_summary.txt").write_text(summary)
+    # Orchestration overhead must not invert the parallelism; the 1.25
+    # allowance absorbs single-core CI runners where two CPU-bound
+    # workers merely interleave.
+    assert parallel <= serial * 1.25, summary
+
+
+def test_post_campaign_federated_scrape_is_sub_second():
+    manager, gateway, _wall = _drain(num_jobs=3, num_workers=3,
+                                     prefix="scrape")
+    try:
+        client = RTMClient(gateway.url)
+        laps = []
+        for _ in range(3):
+            start = time.perf_counter()
+            text = client.metrics_text()
+            laps.append(time.perf_counter() - start)
+        # All three exited workers answer from the control-channel
+        # cache — no live scraping, no timeouts.
+        for worker in ("w1", "w2", "w3"):
+            assert f'worker="{worker}"' in text
+        median = sorted(laps)[1]
+        print(f"\nfederated scrape latency: median {median * 1e3:.1f}ms "
+              f"over {len(laps)} scrapes")
+        assert median < 1.0, laps
+    finally:
+        manager.stop()
+        gateway.stop()

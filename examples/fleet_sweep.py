@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Drain a chaos-seasoned parameter sweep through the fleet.
+
+One `JobQueue` holds a FIR x chiplet-count grid; the first job's first
+attempt is sabotaged with a write-buffer stall fault, so the run
+demonstrates the whole orchestration story end to end:
+
+* the `FleetManager` spawns one worker subprocess per job attempt;
+* the sabotaged worker hangs, the fleet-tuned watchdog aborts it, and
+  the restart policy requeues the job at the front of the line;
+* the retry (fault disarmed from attempt 1 on) completes;
+* the `FleetGateway` serves a live `/api/fleet` view, reverse-proxies
+  each worker's own dashboard API, and answers one federated /metrics
+  scrape in which every worker's series carries a `worker="wN"` label
+  -- including workers that already exited.
+
+Run:  python examples/fleet_sweep.py
+"""
+
+from repro.core import RTMClient
+from repro.fleet import FleetGateway, FleetManager, JobQueue, JobSpec
+
+
+def main() -> None:
+    queue = JobQueue()
+    specs = [JobSpec(f"fir-c{chiplets}", "fir", chiplets=chiplets,
+                     max_retries=1)
+             for chiplets in (1, 2, 3)]
+    # Sabotage the first job's first attempt: a stall fault pins its
+    # write buffers, the watchdog confirms the hang and aborts, and
+    # the restart policy proves a clean retry succeeds.
+    specs[0].fault = {"kind": "stall", "target": "*WriteBuffer*",
+                      "start": 5e-7}
+    queue.submit_all(specs)
+
+    manager = FleetManager(queue, num_workers=2)
+    gateway = FleetGateway(manager)
+    gateway.start()
+    manager.start()
+    print(f"fleet gateway: {gateway.url}")
+
+    try:
+        drained = manager.wait(timeout=300.0)
+        client = RTMClient(gateway.url)
+        status = client.fleet_status()
+        metrics = client.metrics_text()
+    finally:
+        manager.stop()
+        gateway.stop()
+
+    print(f"campaign {'drained' if drained else 'TIMED OUT'}")
+    for job in status["jobs"]:
+        spec = job["spec"]
+        workers = ",".join(job["workers"])
+        print(f"  {spec['job_id']}: {job['state']} after "
+              f"{job['attempt'] + 1} attempt(s) on {workers}")
+        for failure in job["failures"]:
+            verdict = (failure["post_mortem"] or {}).get(
+                "watchdog") or {}
+            print(f"    attempt {failure['attempt']} post-mortem: "
+                  f"{failure['error']} "
+                  f"(watchdog verdict: {verdict.get('verdict')})")
+
+    labels = sorted({line.split('worker="', 1)[1].split('"', 1)[0]
+                     for line in metrics.splitlines()
+                     if 'worker="' in line})
+    print(f"federated scrape labels: {', '.join(labels)}")
+    summary = status["summary"]
+    print(f"summary: {summary['completed']} completed, "
+          f"{summary['failed']} failed, {summary['retries']} retries")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,12 +12,22 @@ without writing code:
   the recorded message/task lifecycle (JSONL or Perfetto);
 * ``metrics`` — run one benchmark with the metric registry attached
   and dump the final Prometheus text exposition;
-* ``workloads`` — list the available benchmarks.
+* ``fleet`` — drain a parameter sweep (workload x chiplet count)
+  through a worker pool behind the aggregating gateway, or query a
+  running gateway's ``/api/fleet``;
+* ``workloads`` — list the available benchmarks (``--json`` emits the
+  machine-readable catalog fleet jobs are validated against).
+
+``repro run`` installs SIGTERM/SIGINT handlers that stop the engine,
+flush exports and exit 0 — a fleet manager (or an operator's Ctrl-C)
+tearing a run down is a clean shutdown, not a failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 import threading
 import time
@@ -114,8 +124,89 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default 0: exit on hang — metrics are "
                               "still dumped)")
 
-    sub.add_parser("workloads", help="list available benchmarks")
+    fleet = sub.add_parser(
+        "fleet", help="orchestrate many monitored simulations")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="drain a workload x chiplets sweep through a "
+                    "worker pool + gateway")
+    fleet_run.add_argument("--workers", type=int, default=2,
+                           help="worker pool size (default 2)")
+    fleet_run.add_argument("--workloads", default="fir",
+                           help="comma-separated workload names "
+                                "(default fir; see workloads --json)")
+    fleet_run.add_argument("--chiplets", default="1,2",
+                           help="comma-separated chiplet counts, one "
+                                "job per workload x count (default 1,2)")
+    fleet_run.add_argument("--buggy-l2", action="store_true",
+                           help="enable case study 2's write-buffer "
+                                "bug in every job")
+    fleet_run.add_argument("--max-retries", type=int, default=1,
+                           help="restart-policy budget per job "
+                                "(default 1)")
+    fleet_run.add_argument("--crash-first", action="store_true",
+                           help="arm a stall fault on the first job's "
+                                "first attempt (restart-policy demo)")
+    fleet_run.add_argument("--port", type=int, default=0,
+                           help="gateway port (default: ephemeral)")
+    fleet_run.add_argument("--timeout", type=float, default=600.0,
+                           help="wall bound for the whole campaign "
+                                "(default 600 s)")
+    fleet_run.add_argument("--status-out", default="",
+                           help="write the final /api/fleet JSON here")
+    fleet_run.add_argument("--metrics-out", default="",
+                           help="write one federated /metrics scrape "
+                                "here")
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="query a running gateway")
+    fleet_status.add_argument("--url", required=True,
+                              help="gateway base URL")
+    fleet_status.add_argument("--json", action="store_true",
+                              help="dump the raw /api/fleet document")
+
+    workloads = sub.add_parser("workloads",
+                               help="list available benchmarks")
+    workloads.add_argument("--json", action="store_true",
+                           help="machine-readable catalog (name, "
+                                "params, defaults) — the contract "
+                                "fleet jobs are validated against")
     return parser
+
+
+class _GracefulShutdown:
+    """SIGTERM/SIGINT → stop the engine, let the caller flush and exit 0.
+
+    A fleet manager terminates its workers with SIGTERM; an operator
+    uses Ctrl-C.  Either way the run must wind down cleanly — abort the
+    simulation, flush whatever the command exports — and report success:
+    being told to stop is not a failure.  Handlers are restored on
+    ``__exit__`` so library callers (tests invoke :func:`main`
+    in-process) don't leak process-wide state.
+    """
+
+    def __init__(self, simulation):
+        self._simulation = simulation
+        self._previous = {}
+        self.requested = False
+
+    def _handle(self, signum, frame):  # noqa: ARG002 (signal signature)
+        self.requested = True
+        self._simulation.abort()
+
+    def __enter__(self) -> "_GracefulShutdown":
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum,
+                                                       self._handle)
+            except ValueError:
+                pass  # not the main thread: run unguarded
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -145,32 +236,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         target=lambda: result.setdefault(
             "ok", platform.run(hang_wait=args.hang_wait)))
     start = time.monotonic()
-    thread.start()
-    last_wall, last_events = start, 0
-    while thread.is_alive():
-        thread.join(timeout=args.progress_interval)
-        kernel = run.kernels[0]
-        state = platform.simulation.run_state
-        wall = time.monotonic()
-        events = platform.engine.event_count
-        kips = metrics_rate(events - last_events,
-                            wall - last_wall) / 1000.0
-        last_wall, last_events = wall, events
-        print(f"t={platform.simulation.now * 1e6:9.2f}us "
-              f"state={state:9s} "
-              f"wgs={kernel.completed}/{kernel.total} "
-              f"{kips:8.1f} kevents/s")
-        if state == "hung" and args.hang_wait == 0.0:
-            break
-    thread.join()
+    with _GracefulShutdown(platform.simulation) as shutdown:
+        thread.start()
+        last_wall, last_events = start, 0
+        while thread.is_alive():
+            thread.join(timeout=args.progress_interval)
+            kernel = run.kernels[0]
+            state = platform.simulation.run_state
+            wall = time.monotonic()
+            events = platform.engine.event_count
+            kips = metrics_rate(events - last_events,
+                                wall - last_wall) / 1000.0
+            last_wall, last_events = wall, events
+            print(f"t={platform.simulation.now * 1e6:9.2f}us "
+                  f"state={state:9s} "
+                  f"wgs={kernel.completed}/{kernel.total} "
+                  f"{kips:8.1f} kevents/s")
+            if state == "hung" and args.hang_wait == 0.0:
+                break
+        thread.join()
     elapsed = time.monotonic() - start
     ok = result.get("ok", False)
-    print(f"{'completed' if ok else platform.simulation.run_state} "
+    state = ("interrupted" if shutdown.requested
+             else "completed" if ok
+             else platform.simulation.run_state)
+    print(f"{state} "
           f"in {elapsed:.1f}s wall, "
           f"{platform.simulation.now * 1e6:.2f}us simulated, "
           f"{platform.engine.event_count:,} events")
     if monitor is not None:
-        monitor.stop_server()
+        monitor.stop_server()  # flushes exports before exit
+    if shutdown.requested:
+        print("shutdown signal honoured: engine stopped, "
+              "exports flushed")
+        return 0
     return 0 if ok else 1
 
 
@@ -290,7 +389,131 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_workloads(_args: argparse.Namespace) -> int:
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "status":
+        return _fleet_status(args)
+    return _fleet_run(args)
+
+
+def _fleet_status(args: argparse.Namespace) -> int:
+    from .core import RTMClient, RTMConnectionError
+    client = RTMClient(args.url)
+    try:
+        status = client.fleet_status()
+    except RTMConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, default=str))
+        return 0
+    summary = status.get("summary", {})
+    print(f"gateway {status.get('gateway_url', args.url)}: "
+          f"{'drained' if status.get('drained') else 'running'}, "
+          f"{summary.get('completed', 0)} completed / "
+          f"{summary.get('failed', 0)} failed / "
+          f"{summary.get('running', 0)} running / "
+          f"{summary.get('queued', 0)} queued "
+          f"({summary.get('retries', 0)} retries)")
+    for worker in status.get("workers", []):
+        print(f"  {worker['worker_id']:4s} {worker['state']:8s} "
+              f"job={worker['job_id']} attempt={worker['attempt']} "
+              f"url={worker.get('url') or '-'}")
+    return 0
+
+
+def _fleet_run(args: argparse.Namespace) -> int:
+    from .core import RTMClient
+    from .fleet import (FleetGateway, FleetManager, JobQueue, JobSpec,
+                        workload_catalog)
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    chiplets = [int(c) for c in args.chiplets.split(",") if c.strip()]
+    if not workloads or not chiplets:
+        print("error: need at least one workload and one chiplet count",
+              file=sys.stderr)
+        return 2
+    catalog = workload_catalog()
+    unknown = sorted(set(workloads) - set(catalog))
+    if unknown:
+        print(f"error: unknown workloads {', '.join(unknown)} "
+              f"(see: repro workloads --json)", file=sys.stderr)
+        return 2
+
+    specs = []
+    for workload in workloads:
+        for count in chiplets:
+            specs.append(JobSpec(f"{workload}-c{count}", workload,
+                                 chiplets=count, buggy_l2=args.buggy_l2,
+                                 max_retries=args.max_retries))
+    if args.crash_first:
+        # Restart-policy demo: stall the first job's first attempt; the
+        # watchdog aborts it and the retry runs clean.
+        specs[0].fault = {"kind": "stall", "target": "*WriteBuffer*",
+                          "start": 5e-7}
+
+    queue = JobQueue()
+    queue.submit_all(specs)
+    manager = FleetManager(queue, num_workers=args.workers)
+    gateway = FleetGateway(manager, port=args.port)
+    gateway.start()
+    manager.start()
+    print(f"fleet gateway: {gateway.url}  "
+          f"({len(specs)} jobs, {args.workers} workers)")
+    try:
+        drained = manager.wait(timeout=args.timeout)
+        # Harvest through the gateway's public API, like any client
+        # would — this is the paper's single pane of glass.
+        client = RTMClient(gateway.url)
+        status = client.fleet_status()
+        metrics_text = client.metrics_text()
+    finally:
+        manager.stop()
+        gateway.stop()
+
+    if args.status_out:
+        import pathlib
+        pathlib.Path(args.status_out).write_text(
+            json.dumps(status, indent=2, default=str))
+        print(f"wrote fleet status to {args.status_out}")
+    if args.metrics_out:
+        import pathlib
+        pathlib.Path(args.metrics_out).write_text(metrics_text)
+        print(f"wrote federated metrics to {args.metrics_out}")
+
+    summary = status.get("summary", {})
+    for job in status.get("jobs", []):
+        workers = ",".join(job.get("workers", [])) or "-"
+        print(f"  {job['spec']['job_id']:16s} {job['state']:9s} "
+              f"attempts={job.get('attempt', 0) + 1} "
+              f"workers={workers}")
+    print(f"{'drained' if drained else 'TIMEOUT'}: "
+          f"{summary.get('completed', 0)} completed, "
+          f"{summary.get('failed', 0)} failed, "
+          f"{summary.get('retries', 0)} retries")
+    ok = drained and not summary.get("failed", 0) \
+        and not summary.get("queued", 0) and not summary.get("running", 0)
+    return 0 if ok else 1
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        import dataclasses
+        from .fleet import workload_catalog
+        catalog = []
+        for name, workload in sorted(workload_catalog().items()):
+            kernel = workload.kernel()
+            catalog.append({
+                "name": name,
+                "type": type(workload).__name__,
+                "params": {f.name: getattr(workload, f.name)
+                           for f in dataclasses.fields(workload)},
+                "workgroups": kernel.num_workgroups,
+                "wavefronts_per_wg": kernel.wavefronts_per_wg,
+                "input_bytes": workload.input_bytes(),
+                "output_bytes": workload.output_bytes(),
+            })
+        print(json.dumps(catalog, indent=2))
+        return 0
     for name, factory in sorted(SUITE.items()):
         workload = factory()
         kernel = workload.kernel()
@@ -311,6 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": _cmd_study,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "fleet": _cmd_fleet,
         "workloads": _cmd_workloads,
     }[args.command]
     return handler(args)

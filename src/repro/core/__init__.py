@@ -20,7 +20,7 @@ dashboard under ``static/`` or programmatically via :class:`RTMClient`.
 
 from .alerts import AlertManager, AlertRule
 from .bottleneck import BufferAnalyzer, BufferRow
-from .client import RTMClient, RTMClientError
+from .client import RTMClient, RTMClientError, RTMConnectionError
 from .export import (
     METRIC,
     RecordedSeries,
@@ -42,19 +42,22 @@ from .monitor import Monitor
 from .profiler import FunctionStats, ProfileReport, SamplingProfiler
 from .progress import ProgressBar
 from .resources import ResourceMonitor, ResourceSample
-from .server import RTMServer
+from .server import BadRequest, HTTPServerThread, JSONRequestHandler, RTMServer
 from .timeseries import HISTORY, MAX_WATCHES, ValueMonitor, ValueWatch
 from .watchdog import Watchdog, WatchdogConfig
 
 __all__ = [
     "AlertManager",
     "AlertRule",
+    "BadRequest",
     "BufferAnalyzer",
     "BufferRow",
     "FunctionStats",
     "HangDetector",
     "HangStatus",
     "HISTORY",
+    "HTTPServerThread",
+    "JSONRequestHandler",
     "MAX_WATCHES",
     "METRIC",
     "Monitor",
@@ -66,6 +69,7 @@ __all__ = [
     "ResourceSample",
     "RTMClient",
     "RTMClientError",
+    "RTMConnectionError",
     "RTMServer",
     "SamplingProfiler",
     "ValueMonitor",

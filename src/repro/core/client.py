@@ -5,11 +5,19 @@ Used by the test suite, the Figure 7 benchmark harness (scenario 4's
 client), and the simulated user study, whose participant agents interact
 with the monitor exactly the way the web frontend does — over HTTP.
 
-GET requests are idempotent, so transient transport failures (connection
-refused during server start-up, socket timeouts while the simulation
-thread hogs the GIL) are retried with exponential backoff and jitter up
-to ``max_retries`` times.  POST/DELETE are never retried — a timed-out
-control request may still have been applied.
+GET requests are idempotent, so transient transport failures (socket
+timeouts while the simulation thread hogs the GIL, resets mid-response)
+are retried with exponential backoff and jitter up to ``max_retries``
+times.  POST/DELETE are never retried — a timed-out control request may
+still have been applied.
+
+Connection *refused* is different: the kernel answered immediately and
+definitively — nothing is listening on that port.  In a fleet, that is
+the signature of a dead worker, and burning the full backoff budget on
+it would stall every scrape behind the corpse.  Refused connections
+therefore fast-fail with :class:`RTMConnectionError` (pass
+``retry_refused=True`` to restore the old patient behaviour, e.g. when
+racing a server that is still binding its socket).
 """
 
 from __future__ import annotations
@@ -25,6 +33,24 @@ from urllib.request import Request, urlopen
 
 class RTMClientError(RuntimeError):
     """An API call failed (HTTP error or server-reported error)."""
+
+
+class RTMConnectionError(RTMClientError):
+    """Nothing is listening at the target address (connection refused).
+
+    Raised without consuming the retry/backoff budget: a refused
+    connection is an immediate kernel-level verdict, not a transient
+    timeout, so callers probing possibly-dead workers get their answer
+    in microseconds instead of after a full backoff cycle.
+    """
+
+
+def _refused(exc: BaseException) -> bool:
+    """Is *exc* (or the URLError wrapping it) a connection-refused?"""
+    if isinstance(exc, ConnectionRefusedError):
+        return True
+    reason = getattr(exc, "reason", None)
+    return isinstance(reason, ConnectionRefusedError)
 
 
 class RTMClient:
@@ -44,14 +70,21 @@ class RTMClient:
     backoff:
         Initial retry delay in seconds; doubles per attempt, with up to
         50% uniform jitter added to avoid retry stampedes.
+    retry_refused:
+        Treat connection-refused like any transient failure (retry with
+        backoff) instead of fast-failing with
+        :class:`RTMConnectionError`.  Off by default: refused means the
+        server is gone, not busy.
     """
 
     def __init__(self, url: str, timeout: float = 5.0,
-                 max_retries: int = 3, backoff: float = 0.05):
+                 max_retries: int = 3, backoff: float = 0.05,
+                 retry_refused: bool = False):
         self.base = url.rstrip("/")
         self.timeout = timeout
         self.max_retries = max_retries
         self.backoff = backoff
+        self.retry_refused = retry_refused
         self.retry_count = 0  # total transient retries, for tests/stats
         self._sleep = time.sleep  # injectable for tests
 
@@ -74,6 +107,10 @@ class RTMClient:
             except RTMClientError:
                 raise  # server verdict (HTTP status) — never retry
             except (URLError, TimeoutError, ConnectionError) as exc:
+                if _refused(exc) and not self.retry_refused:
+                    raise RTMConnectionError(
+                        f"{method} {endpoint}: connection refused — "
+                        f"nothing listening at {self.base}") from exc
                 if attempt == attempts - 1:
                     raise RTMClientError(
                         f"{method} {endpoint}: {exc} "
@@ -276,6 +313,10 @@ class RTMClient:
                 raise RTMClientError(
                     f"GET /api/stream -> {exc.code}") from exc
             except (URLError, TimeoutError, ConnectionError) as exc:
+                if _refused(exc) and not self.retry_refused:
+                    raise RTMConnectionError(
+                        f"GET /api/stream: connection refused — "
+                        f"nothing listening at {self.base}") from exc
                 if attempt == attempts - 1:
                     raise RTMClientError(
                         f"GET /api/stream: {exc} "
@@ -299,6 +340,25 @@ class RTMClient:
                         data_lines = []
         except (URLError, TimeoutError, ConnectionError, OSError):
             return  # stream ended; caller may reconnect
+
+    # -- fleet (gateway endpoints) -------------------------------------------
+    def fleet_status(self) -> Dict[str, Any]:
+        """The aggregating gateway's fleet view: workers, jobs, queue
+        counters.  Only meaningful against a
+        :class:`repro.fleet.FleetGateway` URL."""
+        return self._get("/api/fleet")
+
+    def fleet_workers(self) -> List[Dict[str, Any]]:
+        return self.fleet_status()["workers"]
+
+    def fleet_jobs(self) -> List[Dict[str, Any]]:
+        return self.fleet_status()["jobs"]
+
+    def fleet_worker_get(self, worker_id: str, endpoint: str,
+                         **params) -> Any:
+        """Call one worker's own API through the gateway's reverse
+        proxy, e.g. ``fleet_worker_get("w1", "/api/overview")``."""
+        return self._get(f"/api/fleet/{worker_id}{endpoint}", **params)
 
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:

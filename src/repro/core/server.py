@@ -96,16 +96,20 @@ _CONTENT_TYPES = {
 }
 
 
-class _BadRequest(Exception):
+class BadRequest(Exception):
     """A malformed query parameter; mapped to HTTP 400."""
+
+
+#: Backwards-compatible alias (the original private name).
+_BadRequest = BadRequest
 
 
 def _int_param(params: Dict[str, str], key: str, default: int) -> int:
     try:
         return int(params.get(key, default))
     except (TypeError, ValueError):
-        raise _BadRequest(f"parameter {key!r} must be an integer, "
-                          f"got {params.get(key)!r}") from None
+        raise BadRequest(f"parameter {key!r} must be an integer, "
+                         f"got {params.get(key)!r}") from None
 
 
 def _float_param(params: Dict[str, str], key: str,
@@ -116,17 +120,21 @@ def _float_param(params: Dict[str, str], key: str,
     try:
         return float(raw)
     except (TypeError, ValueError):
-        raise _BadRequest(f"parameter {key!r} must be a number, "
-                          f"got {raw!r}") from None
+        raise BadRequest(f"parameter {key!r} must be a number, "
+                         f"got {raw!r}") from None
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to the monitor.  One instance per request."""
+class JSONRequestHandler(BaseHTTPRequestHandler):
+    """Shared plumbing of the AkitaRTM HTTP handlers.
+
+    Both the per-simulation :class:`RTMServer` handler and the fleet
+    gateway (:mod:`repro.fleet.gateway`) speak the same dialect: JSON
+    bodies, ``{"error": ...}`` envelopes with the 400/404/500 status
+    discipline, and query strings flattened to single values.
+    """
 
     server_version = "AkitaRTM/1.0"
-    monitor = None  # injected by RTMServer via subclassing
 
-    # -- helpers -----------------------------------------------------------
     def log_message(self, fmt, *args):  # silence default stderr logging
         pass
 
@@ -142,10 +150,25 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, message: str, status: int = 400) -> None:
         self._send_json({"error": message}, status)
 
+    def _send_body(self, body: bytes, content_type: str,
+                   status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Access-Control-Allow-Origin", "*")
+        self.end_headers()
+        self.wfile.write(body)
+
     def _query(self) -> Tuple[str, Dict[str, str]]:
         parsed = urlparse(self.path)
         params = {k: v[0] for k, v in parse_qs(parsed.query).items()}
         return parsed.path, params
+
+
+class _Handler(JSONRequestHandler):
+    """Routes requests to the monitor.  One instance per request."""
+
+    monitor = None  # injected by RTMServer via subclassing
 
     # -- static files ------------------------------------------------------
     def _serve_static(self, path: str) -> None:
@@ -191,7 +214,7 @@ class _Handler(BaseHTTPRequestHandler):
             # Long-lived: excluded from request-latency accounting.
             try:
                 self._get_stream(params)
-            except _BadRequest as exc:
+            except BadRequest as exc:
                 self._send_error_json(str(exc), 400)
             return
         t0 = perf_counter()
@@ -226,7 +249,7 @@ class _Handler(BaseHTTPRequestHandler):
                 try:
                     rows = monitor.analyzer.snapshot(sort=sort, top=top)
                 except ValueError as exc:
-                    raise _BadRequest(str(exc)) from None
+                    raise BadRequest(str(exc)) from None
                 self._send_json({"buffers": [r.to_dict() for r in rows]})
             elif path == "/api/progress":
                 self._send_json({"bars": [b.to_dict()
@@ -290,7 +313,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._get_trace_export(params)
             else:
                 self._serve_static(path)
-        except _BadRequest as exc:
+        except BadRequest as exc:
             self._send_error_json(str(exc), 400)
         except Exception as exc:  # surface handler bugs to the client
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
@@ -341,7 +364,7 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 re.compile(names)
             except re.error as exc:
-                raise _BadRequest(f"bad names regex: {exc}") from None
+                raise BadRequest(f"bad names regex: {exc}") from None
         return self.monitor.metrics.snapshot(names)
 
     def _get_metrics(self, params: Dict[str, str]) -> None:
@@ -371,7 +394,7 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 re.compile(names)
             except re.error as exc:
-                raise _BadRequest(f"bad names regex: {exc}") from None
+                raise BadRequest(f"bad names regex: {exc}") from None
         # attach=0 lets passive consumers (the dashboard header) stream
         # overview/resources without attaching simulation hooks — an open
         # browser tab must not perturb the overhead it displays.
@@ -417,7 +440,7 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 sim_metrics = monitor.ensure_sim_metrics()
             except RuntimeError as exc:
-                raise _BadRequest(str(exc)) from None
+                raise BadRequest(str(exc)) from None
             sim_metrics.start()
             self._send_json(sim_metrics.status())
         elif action == "stop":
@@ -428,7 +451,7 @@ class _Handler(BaseHTTPRequestHandler):
             monitor.sim_metrics.stop()
             self._send_json(monitor.sim_metrics.status())
         else:
-            raise _BadRequest(
+            raise BadRequest(
                 f"action must be 'start' or 'stop', got {action!r}")
 
     # -- trace ---------------------------------------------------------------
@@ -452,7 +475,7 @@ class _Handler(BaseHTTPRequestHandler):
                 import re as _re
                 _re.compile(params["component"])
             except _re.error as exc:
-                raise _BadRequest(
+                raise BadRequest(
                     f"bad component regex: {exc}") from None
             filters["component"] = params["component"]
         if "kind" in params:
@@ -473,7 +496,7 @@ class _Handler(BaseHTTPRequestHandler):
         if tracer is None:
             return
         if "msg_id" not in params:
-            raise _BadRequest("parameter 'msg_id' is required")
+            raise BadRequest("parameter 'msg_id' is required")
         msg_id = _int_param(params, "msg_id", 0)
         events = tracer.follow(msg_id)
         if not events:
@@ -496,7 +519,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = export_events(events, fmt, dest)
         except ValueError as exc:
-            raise _BadRequest(str(exc)) from None
+            raise BadRequest(str(exc)) from None
         if dest is not None:
             self._send_json({"written": str(payload),
                              "count": len(events), "format": fmt})
@@ -515,7 +538,7 @@ class _Handler(BaseHTTPRequestHandler):
                     db_path=params.get("db"),
                     include=params.get("include"))
             except (RuntimeError, ValueError) as exc:
-                raise _BadRequest(str(exc)) from None
+                raise BadRequest(str(exc)) from None
             tracer.start()
             self._send_json(tracer.status())
         elif action == "stop":
@@ -531,7 +554,7 @@ class _Handler(BaseHTTPRequestHandler):
             tracer.clear()
             self._send_json(tracer.status())
         else:
-            raise _BadRequest(
+            raise BadRequest(
                 f"action must be 'start', 'stop' or 'clear', "
                 f"got {action!r}")
 
@@ -612,7 +635,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_metrics(params)
             else:
                 self._send_error_json("not found", 404)
-        except _BadRequest as exc:
+        except BadRequest as exc:
             self._send_error_json(str(exc), 400)
         except Exception as exc:
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
@@ -624,16 +647,16 @@ class _Handler(BaseHTTPRequestHandler):
         kind = params.get("kind", "")
         target = params.get("target", "")
         if kind not in [k.value for k in FaultKind]:
-            raise _BadRequest(
+            raise BadRequest(
                 f"kind must be one of "
                 f"{sorted(k.value for k in FaultKind)}, got {kind!r}")
         if not target:
-            raise _BadRequest("parameter 'target' is required")
+            raise BadRequest("parameter 'target' is required")
         try:
             injector = monitor.ensure_injector(
                 seed=_int_param(params, "seed", 0))
         except RuntimeError as exc:
-            raise _BadRequest(str(exc)) from None
+            raise BadRequest(str(exc)) from None
         try:
             spec = injector.inject(FaultSpec(
                 FaultKind(kind), target,
@@ -642,7 +665,7 @@ class _Handler(BaseHTTPRequestHandler):
                 probability=_float_param(params, "probability", 1.0),
                 delay=_float_param(params, "delay", 0.0)))
         except ValueError as exc:
-            raise _BadRequest(str(exc)) from None
+            raise BadRequest(str(exc)) from None
         self._send_json(spec.to_dict())
 
     def _post_watchdog(self, params: Dict[str, str]) -> None:
@@ -672,7 +695,7 @@ class _Handler(BaseHTTPRequestHandler):
             monitor.watchdog.stop()
             self._send_json(monitor.watchdog.to_dict())
         else:
-            raise _BadRequest(
+            raise BadRequest(
                 f"action must be 'start' or 'stop', got {action!r}")
 
     # -- DELETE -------------------------------------------------------------
@@ -713,20 +736,26 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"removed": True})
             else:
                 self._send_error_json("not found", 404)
-        except _BadRequest as exc:
+        except BadRequest as exc:
             self._send_error_json(str(exc), 400)
         except Exception as exc:
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
 
 
-class RTMServer:
-    """Owns the ThreadingHTTPServer and its serving thread."""
+class HTTPServerThread:
+    """Owns a ThreadingHTTPServer and its serving thread.
 
-    def __init__(self, monitor, host: str = "127.0.0.1", port: int = 0):
-        handler = type("BoundHandler", (_Handler,), {"monitor": monitor})
+    The reusable server shell: bind at construction time (so ``port=0``
+    resolves to the ephemeral port before :meth:`start` returns), serve
+    from a daemon thread, and expose a ``stopping`` event that long-
+    lived handlers (SSE streams) wait on between pushes so :meth:`stop`
+    unparks them immediately instead of waiting out an interval.
+    """
+
+    thread_name = "rtm-http"
+
+    def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
         self._httpd = ThreadingHTTPServer((host, port), handler)
-        # SSE streams block on this event between pushes, so stop()
-        # unparks them immediately instead of waiting out an interval.
         self._httpd.stopping = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.host = host
@@ -738,7 +767,8 @@ class RTMServer:
 
     def start(self) -> None:
         self._thread = threading.Thread(target=self._httpd.serve_forever,
-                                        daemon=True, name="rtm-server")
+                                        daemon=True,
+                                        name=self.thread_name)
         self._thread.start()
 
     def stop(self) -> None:
@@ -748,3 +778,13 @@ class RTMServer:
         if self._thread is not None:
             self._thread.join(timeout=2.0)
             self._thread = None
+
+
+class RTMServer(HTTPServerThread):
+    """The monitor-bound HTTP server (one per simulation)."""
+
+    thread_name = "rtm-server"
+
+    def __init__(self, monitor, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"monitor": monitor})
+        super().__init__(handler, host=host, port=port)

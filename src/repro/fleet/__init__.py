@@ -1,0 +1,47 @@
+"""``repro.fleet`` — multi-simulation orchestration.
+
+AkitaRTM (``repro.core``) monitors *one* simulation; real campaigns —
+design sweeps, fault campaigns, the paper's Figure 7 grid — run dozens.
+This package runs them behind a single pane of glass:
+
+* :class:`JobQueue` / :class:`JobSpec` — the parameter grid and its
+  restart policy (:mod:`repro.fleet.queue`);
+* :class:`FleetManager` — the worker pool: one subprocess per job
+  attempt, a stdout control channel, crash detection with post-mortems
+  (:mod:`repro.fleet.manager`);
+* the worker entry point itself (:mod:`repro.fleet.worker`, spawned as
+  ``python -m repro.fleet.worker``);
+* :class:`FleetGateway` — the aggregating front server: ``/api/fleet``,
+  a reverse proxy to every worker's own API, and a federated
+  ``/metrics`` with per-worker labels (:mod:`repro.fleet.gateway`).
+
+Typical campaign::
+
+    from repro.fleet import FleetGateway, FleetManager, JobQueue, JobSpec
+
+    queue = JobQueue()
+    for workload in ("fir", "kmeans"):
+        for chiplets in (1, 2):
+            queue.submit(JobSpec(f"{workload}-c{chiplets}", workload,
+                                 chiplets=chiplets))
+    manager = FleetManager(queue, num_workers=4)
+    gateway = FleetGateway(manager)
+    gateway.start(); manager.start()
+    manager.wait(timeout=600)        # drain the sweep
+    print(gateway.url + "/metrics")  # one federated scrape
+    manager.stop(); gateway.stop()
+"""
+
+from .gateway import FleetGateway
+from .manager import FleetManager, WorkerHandle
+from .queue import Job, JobQueue, JobSpec, workload_catalog
+
+__all__ = [
+    "FleetGateway",
+    "FleetManager",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "WorkerHandle",
+    "workload_catalog",
+]

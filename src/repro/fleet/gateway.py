@@ -1,0 +1,200 @@
+"""The aggregating RTM gateway: one pane of glass for a whole fleet.
+
+A fleet of workers each serves its own dashboard + API on an ephemeral
+port.  The :class:`FleetGateway` is the stable front door:
+
+=======  ===================================  ==========================
+Method   Path                                 Purpose
+=======  ===================================  ==========================
+GET      /api/fleet                           workers, jobs, retries
+GET      /api/fleet/<worker>/<rest...>        reverse proxy to worker
+POST     /api/fleet/<worker>/<rest...>        (same — control actions)
+DELETE   /api/fleet/<worker>/<rest...>        (same)
+GET      /metrics                             federated exposition
+=======  ===================================  ==========================
+
+The reverse proxy makes every single-simulation view of the paper reach
+fleet scale unchanged: ``/api/fleet/w3/api/buffers`` is worker w3's
+bottleneck table, ``/api/fleet/w3/api/hang`` its hang verdict.
+
+``/metrics`` federates: the gateway's own fleet-level families (jobs by
+state, live workers, retries — un-labelled) followed by every worker's
+exposition with a ``worker="wN"`` label injected.  Exited workers keep
+appearing with the final exposition they shipped through the control
+channel, so one scrape taken after the campaign still carries every
+completed job's series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..core.server import (
+    BadRequest,
+    HTTPServerThread,
+    JSONRequestHandler,
+)
+from ..metrics import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..metrics import MetricRegistry, expose, federate
+
+__all__ = ["FleetGateway"]
+
+#: Per-worker scrape/proxy timeout: a wedged worker must not hold the
+#: whole federated scrape hostage.
+_PROXY_TIMEOUT = 5.0
+
+
+class _GatewayHandler(JSONRequestHandler):
+    """Routes gateway requests; ``gateway`` injected via subclassing."""
+
+    gateway = None  # type: Optional[FleetGateway]
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._route("DELETE")
+
+    def _route(self, method: str) -> None:
+        path, _params = self._query()
+        try:
+            if path == "/metrics" and method == "GET":
+                body = self.gateway.federated_metrics().encode()
+                self._send_body(body, _PROM_CONTENT_TYPE)
+            elif path == "/api/fleet" and method == "GET":
+                self._send_json(self.gateway.status())
+            elif path.startswith("/api/fleet/"):
+                self._proxy(method, path)
+            else:
+                self._send_error_json("not found", 404)
+        except BadRequest as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # surface handler bugs to the client
+            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+
+    def _proxy(self, method: str, path: str) -> None:
+        remainder = path[len("/api/fleet/"):]
+        worker_id, _, sub_path = remainder.partition("/")
+        if not worker_id or not sub_path:
+            raise BadRequest(
+                "expected /api/fleet/<worker>/<endpoint>")
+        query = self.path.partition("?")[2]
+        target = "/" + sub_path + ("?" + query if query else "")
+        status, content_type, body = self.gateway.proxy(
+            method, worker_id, target)
+        self._send_body(body, content_type, status)
+
+
+class FleetGateway(HTTPServerThread):
+    """The fleet's front server.
+
+    *manager* needs three methods — ``live_workers() -> {id: url}``,
+    ``final_metrics() -> {id: exposition}`` and ``status() -> dict`` —
+    which :class:`~repro.fleet.manager.FleetManager` provides; anything
+    with that shape (a test stub, a remote registry) federates too.
+    """
+
+    thread_name = "rtm-fleet-gateway"
+
+    def __init__(self, manager, host: str = "127.0.0.1", port: int = 0):
+        self.manager = manager
+        self.registry = MetricRegistry()
+        self._install_fleet_metrics()
+        handler = type("BoundGatewayHandler", (_GatewayHandler,),
+                       {"gateway": self})
+        super().__init__(handler, host=host, port=port)
+
+    # ------------------------------------------------------------------
+    # Fleet-level metric families (the gateway's own, un-labelled)
+    # ------------------------------------------------------------------
+    def _install_fleet_metrics(self) -> None:
+        states = ("queued", "running", "completed", "failed")
+        jobs = self.registry.gauge(
+            "rtm_fleet_jobs", "Fleet jobs by state.", ("state",))
+        workers = self.registry.gauge(
+            "rtm_fleet_workers_live",
+            "Worker subprocesses currently registered and serving.")
+        retries = self.registry.gauge(
+            "rtm_fleet_job_retries_total",
+            "Failed job attempts that were requeued by the restart "
+            "policy.")
+
+        def collect() -> None:
+            status = self.manager.status()
+            summary = status.get("summary", {})
+            for state in states:
+                jobs.labels(state).set(float(summary.get(state, 0)))
+            workers.set(float(len(self.manager.live_workers())))
+            retries.set(float(summary.get("retries", 0)))
+
+        self.registry.add_collector(collect)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        status = self.manager.status()
+        status["gateway_url"] = self.url
+        return status
+
+    def federated_metrics(self) -> str:
+        """One exposition for the whole fleet (see module docstring)."""
+        live = self.manager.live_workers()
+        expositions = []
+        unreachable = []
+        for worker_id, url in sorted(live.items()):
+            try:
+                with urlopen(Request(url + "/metrics", method="GET"),
+                             timeout=_PROXY_TIMEOUT) as response:
+                    expositions.append(
+                        (worker_id, response.read().decode()))
+            except (URLError, TimeoutError, ConnectionError, OSError) \
+                    as exc:
+                unreachable.append((worker_id, str(exc)))
+        for worker_id, text in sorted(
+                self.manager.final_metrics().items()):
+            if worker_id not in live:
+                expositions.append((worker_id, text))
+        preamble = expose(self.registry)
+        body = federate(expositions, label="worker", preamble=preamble)
+        for worker_id, error in unreachable:
+            body += (f"# worker {worker_id} unreachable: "
+                     f"{error}\n")
+        return body
+
+    # ------------------------------------------------------------------
+    # Reverse proxy
+    # ------------------------------------------------------------------
+    def proxy(self, method: str, worker_id: str,
+              target: str) -> Tuple[int, str, bytes]:
+        """Forward one request to *worker_id*; returns
+        ``(status, content_type, body)``.  Unknown workers are 404,
+        dead ones 502 — the distinction a retrying client needs."""
+        url = self.manager.live_workers().get(worker_id)
+        if url is None:
+            return (404, "application/json",
+                    json.dumps({"error":
+                                 f"unknown or exited worker "
+                                 f"{worker_id!r}"}).encode())
+        try:
+            with urlopen(Request(url + target, method=method),
+                         timeout=_PROXY_TIMEOUT) as response:
+                content_type = response.headers.get(
+                    "Content-Type", "application/octet-stream")
+                return response.status, content_type, response.read()
+        except HTTPError as exc:
+            # The worker's own verdict (400/404/...) passes through.
+            return (exc.code,
+                    exc.headers.get("Content-Type", "application/json"),
+                    exc.read())
+        except (URLError, TimeoutError, ConnectionError, OSError) as exc:
+            return (502, "application/json",
+                    json.dumps({"error":
+                                 f"worker {worker_id!r} unreachable: "
+                                 f"{exc}"}).encode())

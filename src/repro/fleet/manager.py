@@ -1,0 +1,303 @@
+"""The fleet manager: a bounded pool of worker subprocesses.
+
+``FleetManager`` drains a :class:`~repro.fleet.queue.JobQueue` through
+at most ``num_workers`` concurrent worker subprocesses (one process per
+job attempt — a crashed simulation must never take a sibling down with
+it, which rules out threads and shared interpreters).  For every worker
+it runs two reader threads (stdout control channel, stderr tail) and a
+scheduler thread that:
+
+1. reaps exited workers, turning their exit status + control events
+   into queue transitions (``complete`` / ``fail`` with a post-mortem);
+2. claims queued jobs onto free slots and spawns fresh workers;
+3. flips the ``drained`` event once every job is terminal.
+
+The restart policy itself lives in :meth:`JobQueue.fail`; the manager
+only reports what it observed.  A worker that died without a result
+event gets a post-mortem assembled from its exit code, last control
+event and stderr tail — the fleet equivalent of the watchdog's
+post-mortem files.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .queue import Job, JobQueue
+from .worker import CONTROL_PREFIX
+
+__all__ = ["FleetManager", "WorkerHandle"]
+
+#: Wall seconds a terminated worker gets to flush before SIGKILL.
+_STOP_GRACE = 5.0
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker subprocess and everything observed about it."""
+
+    worker_id: str
+    job_id: str
+    attempt: int
+    process: subprocess.Popen
+    started_wall: float
+    url: Optional[str] = None
+    pid: Optional[int] = None
+    state: str = "spawning"  # spawning | running | exited
+    exit_code: Optional[int] = None
+    result: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    stderr_tail: collections.deque = field(
+        default_factory=lambda: collections.deque(maxlen=40))
+    _threads: List[threading.Thread] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.exit_code == 0 and self.result is not None
+                and bool(self.result.get("ok")))
+
+    def post_mortem(self) -> Dict[str, Any]:
+        """What the manager knows about why this worker died."""
+        report: Dict[str, Any] = {
+            "worker_id": self.worker_id,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "exit_code": self.exit_code,
+            "stderr_tail": list(self.stderr_tail),
+        }
+        if self.result is not None:
+            report["run_state"] = self.result.get("run_state")
+            report["watchdog"] = self.result.get("watchdog")
+            report["error"] = self.result.get("error")
+            report["fault_stats"] = self.result.get("fault_stats")
+        return report
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "pid": self.pid,
+            "url": self.url,
+            "state": self.state,
+            "exit_code": self.exit_code,
+            "uptime_seconds": round(
+                time.monotonic() - self.started_wall, 3),
+        }
+
+
+class FleetManager:
+    """Schedules a job queue across a pool of worker subprocesses."""
+
+    def __init__(self, queue: JobQueue, num_workers: int = 2,
+                 python: Optional[str] = None,
+                 worker_args: Optional[List[str]] = None,
+                 poll_interval: float = 0.05,
+                 snapshot_dir: Optional[str] = None):
+        if num_workers < 1:
+            raise ValueError("need at least one worker slot")
+        self.queue = queue
+        self.num_workers = num_workers
+        self.python = python or sys.executable
+        self.worker_args = list(worker_args or [])
+        self.poll_interval = poll_interval
+        self.snapshot_dir = snapshot_dir
+        self.drained = threading.Event()
+        self._lock = threading.Lock()
+        self._active: Dict[str, WorkerHandle] = {}
+        self._history: List[WorkerHandle] = []
+        self._final_metrics: Dict[str, str] = {}
+        self._spawned = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="rtm-fleet-scheduler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop scheduling and terminate any workers still running."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        with self._lock:
+            active = list(self._active.values())
+        for handle in active:
+            if handle.process.poll() is None:
+                handle.process.terminate()
+        deadline = time.monotonic() + _STOP_GRACE
+        for handle in active:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                handle.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.process.kill()
+                handle.process.wait()
+            self._finalize(handle)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue drains; True if it did in time."""
+        return self.drained.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Scheduler loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            self._reap()
+            self._fill()
+            if self.queue.done and not self._active:
+                self.drained.set()
+
+    def _reap(self) -> None:
+        with self._lock:
+            exited = [h for h in self._active.values()
+                      if h.process.poll() is not None]
+        for handle in exited:
+            self._finalize(handle)
+
+    def _finalize(self, handle: WorkerHandle) -> None:
+        with self._lock:
+            if handle.worker_id not in self._active:
+                return  # already finalized (stop() raced the reaper)
+            del self._active[handle.worker_id]
+            self._history.append(handle)
+        for thread in handle._threads:
+            thread.join(timeout=2.0)
+        handle.exit_code = handle.process.returncode
+        handle.state = "exited"
+        if handle.result is not None:
+            text = handle.result.pop("metrics_text", "")
+            if text:
+                self._final_metrics[handle.worker_id] = text
+        if handle.ok:
+            summary = {k: handle.result.get(k)
+                       for k in ("run_state", "sim_time", "events",
+                                 "fault_stats")}
+            summary["worker_id"] = handle.worker_id
+            self.queue.complete(handle.job_id, summary)
+        else:
+            state = (handle.result or {}).get("run_state", "crashed")
+            self.queue.fail(
+                handle.job_id,
+                f"worker {handle.worker_id} exited "
+                f"{handle.exit_code} ({state})",
+                handle.post_mortem())
+
+    def _fill(self) -> None:
+        while True:
+            with self._lock:
+                if len(self._active) >= self.num_workers:
+                    return
+                worker_id = f"w{self._spawned + 1}"
+            job = self.queue.claim(worker_id)
+            if job is None:
+                return
+            with self._lock:
+                self._spawned += 1
+            self._spawn(job, worker_id)
+
+    # ------------------------------------------------------------------
+    # Spawning and the control channel
+    # ------------------------------------------------------------------
+
+    def _worker_env(self) -> Dict[str, str]:
+        """The child must be able to ``import repro`` even when the
+        parent runs from a source checkout that is not installed."""
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                                 if existing else package_root)
+        return env
+
+    def _spawn(self, job: Job, worker_id: str) -> None:
+        argv = [self.python, "-m", "repro.fleet.worker",
+                "--spec", json.dumps(job.spec.to_dict()),
+                "--attempt", str(job.attempt)]
+        if self.snapshot_dir is not None:
+            argv += ["--snapshot-dir", self.snapshot_dir]
+        argv += self.worker_args
+        process = subprocess.Popen(
+            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=self._worker_env())
+        handle = WorkerHandle(worker_id=worker_id, job_id=job.spec.job_id,
+                              attempt=job.attempt, process=process,
+                              started_wall=time.monotonic())
+        for stream, reader in ((process.stdout, self._read_control),
+                               (process.stderr, self._read_stderr)):
+            thread = threading.Thread(target=reader,
+                                      args=(handle, stream),
+                                      daemon=True,
+                                      name=f"rtm-fleet-{worker_id}-io")
+            handle._threads.append(thread)
+            thread.start()
+        with self._lock:
+            self._active[worker_id] = handle
+
+    def _read_control(self, handle: WorkerHandle, stream) -> None:
+        for line in stream:
+            if not line.startswith(CONTROL_PREFIX):
+                continue  # ordinary worker logging
+            try:
+                event = json.loads(line[len(CONTROL_PREFIX):])
+            except json.JSONDecodeError:
+                continue  # a torn line (worker died mid-write)
+            handle.events.append(event)
+            kind = event.get("event")
+            if kind == "register":
+                handle.url = event.get("url")
+                handle.pid = event.get("pid")
+                handle.state = "running"
+            elif kind == "result":
+                handle.result = event
+        stream.close()
+
+    def _read_stderr(self, handle: WorkerHandle, stream) -> None:
+        for line in stream:
+            handle.stderr_tail.append(line.rstrip("\n"))
+        stream.close()
+
+    # ------------------------------------------------------------------
+    # Views (consumed by the gateway and the CLI)
+    # ------------------------------------------------------------------
+    def live_workers(self) -> Dict[str, str]:
+        """worker_id -> base URL for every registered, running worker."""
+        with self._lock:
+            return {h.worker_id: h.url for h in self._active.values()
+                    if h.url is not None}
+
+    def final_metrics(self) -> Dict[str, str]:
+        """worker_id -> last Prometheus exposition of exited workers."""
+        with self._lock:
+            return dict(self._final_metrics)
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            workers = ([h.to_dict() for h in self._active.values()]
+                       + [h.to_dict() for h in self._history])
+        return {
+            "num_workers": self.num_workers,
+            "drained": self.drained.is_set(),
+            "summary": self.queue.counts(),
+            "workers": workers,
+            "jobs": self.queue.to_dict(),
+        }

@@ -1,0 +1,231 @@
+"""Parameterized jobs and the thread-safe queue that schedules them.
+
+A :class:`JobSpec` is one point of a campaign's parameter grid — a
+workload name, a chiplet count, optional workload-parameter overrides,
+an optional fault to arm (chaos testing) — plus the restart policy
+(``max_retries``).  The :class:`JobQueue` holds the grid, hands queued
+jobs to the :class:`~repro.fleet.manager.FleetManager` in FIFO order,
+and applies the restart policy when a worker dies: the job goes back to
+the head of the line with its failure recorded, until the retry budget
+is exhausted and the job is marked terminally failed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..workloads import StoreStorm, Workload, suite_small
+
+__all__ = ["JobSpec", "Job", "JobQueue", "workload_catalog"]
+
+
+def workload_catalog() -> Dict[str, Workload]:
+    """The workloads a fleet job may name: the paper's six benchmarks
+    (small problem sizes — fleet campaigns multiply runtimes) plus the
+    StoreStorm diagnostic used for crash campaigns."""
+    catalog = suite_small()
+    catalog["storestorm"] = StoreStorm()
+    return catalog
+
+
+@dataclass
+class JobSpec:
+    """One parameterized simulation job.
+
+    ``fault`` (a dict of ``POST /api/faults`` parameters: kind, target,
+    start, ...) is armed only while ``attempt < fault_attempts`` — the
+    canonical chaos experiment injects on the first attempt and lets the
+    restart policy prove a clean retry succeeds.
+    """
+
+    job_id: str
+    workload: str
+    chiplets: int = 1
+    params: Dict[str, Any] = field(default_factory=dict)
+    buggy_l2: bool = False
+    seed: int = 0
+    fault: Optional[Dict[str, Any]] = None
+    fault_attempts: int = 1
+    max_retries: int = 1
+
+    def validate(self) -> None:
+        """Reject jobs that could never run before any worker is spent
+        on them (the ``repro workloads --json`` catalog contract)."""
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        catalog = workload_catalog()
+        if self.workload not in catalog:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{sorted(catalog)}")
+        if self.chiplets < 1:
+            raise ValueError("chiplets must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.params:
+            known = {f.name for f in
+                     dataclasses.fields(catalog[self.workload])}
+            unknown = set(self.params) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown {self.workload} parameter(s) "
+                    f"{sorted(unknown)}; expected a subset of "
+                    f"{sorted(known)}")
+        if self.fault is not None and "kind" not in self.fault:
+            raise ValueError("fault needs at least a 'kind'")
+
+    def build_workload(self) -> Workload:
+        """The concrete workload instance, overrides applied."""
+        workload = workload_catalog()[self.workload]
+        if self.params:
+            workload = dataclasses.replace(workload, **self.params)
+        return workload
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class Job:
+    """A spec plus its scheduling state (owned by the queue's lock)."""
+
+    spec: JobSpec
+    state: str = "queued"  # queued | running | completed | failed
+    attempt: int = 0       # 0-based index of the current/next attempt
+    worker_id: Optional[str] = None
+    workers: List[str] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts that were given another go (a terminal
+        failure's last attempt was not retried)."""
+        return max(0, len(self.failures) - (
+            1 if self.state == "failed" else 0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "attempt": self.attempt,
+            "worker_id": self.worker_id,
+            "workers": list(self.workers),
+            "retries": self.retries,
+            "result": self.result,
+            "failures": list(self.failures),
+        }
+
+
+class JobQueue:
+    """FIFO queue with duplicate-id rejection and a restart policy."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._pending: List[str] = []  # job ids, FIFO
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Validate and enqueue; duplicate job ids are an error (a
+        campaign that submits the same id twice is confused, and silent
+        replacement would corrupt the first job's history)."""
+        spec.validate()
+        with self._lock:
+            if spec.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {spec.job_id!r}")
+            job = Job(spec)
+            self._jobs[spec.job_id] = job
+            self._pending.append(spec.job_id)
+            return job
+
+    def submit_all(self, specs: List[JobSpec]) -> List[Job]:
+        return [self.submit(spec) for spec in specs]
+
+    # -- scheduling ------------------------------------------------------
+    def claim(self, worker_id: str) -> Optional[Job]:
+        """Pop the next queued job and mark it running on *worker_id*;
+        ``None`` when nothing is waiting."""
+        with self._lock:
+            if not self._pending:
+                return None
+            job = self._jobs[self._pending.pop(0)]
+            job.state = "running"
+            job.worker_id = worker_id
+            job.workers.append(worker_id)
+            return job
+
+    def complete(self, job_id: str,
+                 result: Optional[Dict[str, Any]] = None) -> Job:
+        with self._lock:
+            job = self._jobs[job_id]
+            job.state = "completed"
+            job.result = result
+            job.worker_id = None
+            return job
+
+    def fail(self, job_id: str, error: str,
+             post_mortem: Optional[Dict[str, Any]] = None) -> Job:
+        """Record a failed attempt; requeue (at the front, so retries
+        don't starve behind the rest of the campaign) while the retry
+        budget lasts, else mark the job terminally failed."""
+        with self._lock:
+            job = self._jobs[job_id]
+            job.failures.append({
+                "attempt": job.attempt,
+                "worker_id": job.worker_id,
+                "error": error,
+                "post_mortem": post_mortem,
+            })
+            job.worker_id = None
+            if job.attempt < job.spec.max_retries:
+                job.attempt += 1
+                job.state = "queued"
+                self._pending.insert(0, job_id)
+            else:
+                job.state = "failed"
+            return job
+
+    # -- introspection ---------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {"queued": 0, "running": 0, "completed": 0,
+                      "failed": 0}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            counts["total"] = len(self._jobs)
+            counts["retries"] = sum(j.retries
+                                    for j in self._jobs.values())
+            return counts
+
+    @property
+    def done(self) -> bool:
+        """Every submitted job reached a terminal state."""
+        with self._lock:
+            return all(j.state in ("completed", "failed")
+                       for j in self._jobs.values())
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [job.to_dict() for job in self._jobs.values()]

@@ -1,0 +1,180 @@
+"""The fleet worker: one monitored simulation in one subprocess.
+
+Spawned by the :class:`~repro.fleet.manager.FleetManager` as::
+
+    python -m repro.fleet.worker --spec '<JobSpec JSON>' --attempt 0
+
+The worker builds the platform the job describes, attaches a
+:class:`~repro.core.Monitor` with its own :class:`~repro.core.RTMServer`
+on an ephemeral port, arms the job's fault (first ``fault_attempts``
+attempts only) and a watchdog, then runs the simulation to completion.
+
+**Control channel.**  The worker talks to its manager over stdout with
+line-framed JSON, each line prefixed ``@fleet `` (everything else on
+stdout is ordinary logging and ignored by the manager):
+
+* ``{"event": "register", "job_id", "attempt", "pid", "url", "port"}``
+  — sent as soon as the HTTP server is up, so the gateway can start
+  reverse-proxying this worker immediately;
+* ``{"event": "result", "ok", "run_state", "sim_time", "events",
+  "watchdog", "fault_stats", "metrics_text"}`` — sent once, right
+  before exit.  ``metrics_text`` is the worker's final Prometheus
+  exposition: the process is about to die, and shipping the last scrape
+  through the control channel is what lets the gateway's federated
+  ``/metrics`` keep serving completed jobs' series.
+
+Exit status: 0 for a completed workload, 1 for hang/abort/crash — the
+manager maps non-zero onto the queue's restart policy.
+
+SIGTERM/SIGINT stop the engine and flush the result event before
+exiting, so ``FleetManager.stop()`` never leaves half-written control
+traffic behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..core import Monitor
+from ..gpu import GPUPlatform, GPUPlatformConfig
+from ..metrics import expose
+from .queue import JobSpec
+
+__all__ = ["run_worker", "main", "CONTROL_PREFIX"]
+
+#: Marker distinguishing control-channel lines from ordinary stdout.
+CONTROL_PREFIX = "@fleet "
+
+
+def emit(payload: Dict[str, Any]) -> None:
+    """Write one control-channel line (flushed: the manager reads the
+    pipe live, and a buffered register event would stall the fleet)."""
+    sys.stdout.write(CONTROL_PREFIX + json.dumps(payload) + "\n")
+    sys.stdout.flush()
+
+
+def _arm_fault(monitor: Monitor, spec: JobSpec) -> None:
+    from ..faults.injector import FaultKind, FaultSpec
+    fault = dict(spec.fault or {})
+    kind = FaultKind(fault.pop("kind"))
+    target = fault.pop("target", "*")
+    injector = monitor.ensure_injector(seed=spec.seed)
+    injector.inject(FaultSpec(kind, target, **fault))
+
+
+def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
+               stall_threshold: float = 0.75,
+               watchdog_interval: float = 0.1,
+               hang_wait: float = 60.0,
+               snapshot_dir: Optional[str] = None) -> int:
+    """Run one job to completion in this process; returns the exit code.
+
+    The defaults tune supervision for fleet duty: a worker that stalls
+    is a wasted slot, so hangs are confirmed fast (0.75 s without
+    progress) and aborted after one recovery attempt rather than
+    debugged interactively.
+    """
+    workload = spec.build_workload()
+    config = GPUPlatformConfig.small(num_chiplets=spec.chiplets,
+                                     l2_write_buffer_bug=spec.buggy_l2)
+    platform = GPUPlatform(config)
+    workload.enqueue(platform.driver)
+
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    if monitor.hang is not None:
+        monitor.hang.stall_threshold = stall_threshold
+    monitor.start_sampler()
+    url = monitor.start_server(port=port)
+    monitor.enable_watchdog(check_interval=watchdog_interval,
+                            max_tick_retries=1,
+                            retry_wait=watchdog_interval,
+                            snapshot_dir=snapshot_dir)
+    if spec.fault is not None and attempt < spec.fault_attempts:
+        _arm_fault(monitor, spec)
+    # Instrument from t=0 so the federated scrape carries the whole run,
+    # not just whatever happened after the first gateway scrape.
+    monitor.ensure_sim_metrics().start()
+
+    def _graceful(signum, frame):  # noqa: ARG001 (signal signature)
+        platform.simulation.abort()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
+    emit({"event": "register", "job_id": spec.job_id,
+          "attempt": attempt, "pid": os.getpid(), "url": url,
+          "port": int(url.rsplit(":", 1)[1])})
+
+    try:
+        ok = platform.run(hang_wait=hang_wait)
+    except Exception as exc:  # a crash is a result too
+        emit({"event": "result", "job_id": spec.job_id,
+              "attempt": attempt, "ok": False,
+              "run_state": "crashed",
+              "error": f"{type(exc).__name__}: {exc}",
+              "watchdog": None, "fault_stats": {},
+              "metrics_text": ""})
+        monitor.stop_server()
+        return 1
+
+    watchdog_report = (monitor.watchdog.report
+                       if monitor.watchdog is not None else None)
+    injector = monitor.injector
+    result = {
+        "event": "result",
+        "job_id": spec.job_id,
+        "attempt": attempt,
+        "ok": ok,
+        "run_state": platform.simulation.run_state,
+        "sim_time": platform.simulation.now,
+        "events": platform.engine.event_count,
+        "watchdog": watchdog_report,
+        "fault_stats": injector.stats() if injector is not None else {},
+        "metrics_text": expose(monitor.metrics),
+    }
+    emit(result)
+    monitor.stop_server()
+    return 0 if ok else 1
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro.fleet.worker",
+        description="one fleet-managed monitored simulation")
+    parser.add_argument("--spec", required=True,
+                        help="JobSpec as a JSON object")
+    parser.add_argument("--attempt", type=int, default=0)
+    parser.add_argument("--port", type=int, default=0,
+                        help="RTM server port (default: ephemeral)")
+    parser.add_argument("--stall-threshold", type=float, default=0.75)
+    parser.add_argument("--watchdog-interval", type=float, default=0.1)
+    parser.add_argument("--hang-wait", type=float, default=60.0)
+    parser.add_argument("--snapshot-dir", default=None)
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    try:
+        spec = JobSpec.from_dict(json.loads(args.spec))
+        spec.validate()
+    except (ValueError, TypeError, json.JSONDecodeError) as exc:
+        emit({"event": "result", "ok": False, "run_state": "rejected",
+              "error": f"bad spec: {exc}", "job_id": None,
+              "metrics_text": ""})
+        return 2
+    return run_worker(spec, attempt=args.attempt, port=args.port,
+                      stall_threshold=args.stall_threshold,
+                      watchdog_interval=args.watchdog_interval,
+                      hang_wait=args.hang_wait,
+                      snapshot_dir=args.snapshot_dir)
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

@@ -14,6 +14,7 @@ Three front doors, all served by :class:`repro.core.RTMServer`:
 """
 
 from .exposition import CONTENT_TYPE, expose, format_labels
+from .federation import federate, inject_label
 from .instrument import OCCUPANCY_BUCKETS, PASS_BUCKETS, SimMetrics
 from .registry import (
     Counter,
@@ -38,7 +39,9 @@ __all__ = [
     "Series",
     "SimMetrics",
     "expose",
+    "federate",
     "format_labels",
+    "inject_label",
     "rate",
     "snapshot_delta",
 ]

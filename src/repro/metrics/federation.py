@@ -1,0 +1,133 @@
+"""Federating Prometheus expositions from many workers into one scrape.
+
+The fleet gateway scrapes every worker's ``/metrics`` and has to merge N
+expositions that all use the *same* family names (every worker runs the
+same instrumentation).  Two things make the merge non-trivial:
+
+* every sample needs a ``worker="wN"`` label so the series stay
+  distinguishable downstream (:func:`inject_label`);
+* ``# HELP``/``# TYPE`` headers must appear exactly once per family and
+  all samples of a family must stay contiguous, as the text format
+  requires (:func:`federate` re-groups lines by family).
+
+Only the exposition *text* is touched — the gateway never needs to parse
+values, so a worker publishing a family the gateway has never heard of
+federates just fine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["inject_label", "federate"]
+
+#: ``metric_name{labels} value [timestamp]`` — group 1 the name, group 2
+#: the (optional) brace block, group 3 the rest of the line.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?( .+)$")
+
+_HEADER_RE = re.compile(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) ?(.*)$")
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def inject_label(text: str, label: str, value: str) -> str:
+    """Add ``label="value"`` to every sample line of an exposition.
+
+    Comment and blank lines pass through untouched; samples that already
+    carry labels get the new pair prepended (``{worker="w1",le="0.5"}``),
+    bare samples grow a brace block.  A sample that already has *label*
+    keeps its existing value — the worker's own claim wins over the
+    federator's relabelling only if the federator chooses not to guard;
+    here the injected pair simply is not added twice.
+    """
+    out: List[str] = []
+    pair = f'{label}="{_escape(value)}"'
+    prefix = f'{label}="'
+    for line in text.splitlines():
+        match = _SAMPLE_RE.match(line)
+        if match is None or line.startswith("#"):
+            out.append(line)
+            continue
+        name, braces, rest = match.groups()
+        if braces:
+            inner = braces[1:-1]
+            if inner.startswith(prefix) or f",{prefix}" in f",{inner}":
+                out.append(line)
+                continue
+            out.append(f"{name}{{{pair},{inner}}}{rest}")
+        else:
+            out.append(f"{name}{{{pair}}}{rest}")
+    return "\n".join(out) + ("\n" if text.endswith("\n") else "")
+
+
+def _family_of(sample_name: str, known: Iterable[str]) -> str:
+    """Histogram series (``_bucket``/``_sum``/``_count``) belong to the
+    base family whose TYPE header we saw; everything else is its own."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in known:
+                return base
+    return sample_name
+
+
+def federate(expositions: Iterable[Tuple[str, str]],
+             label: str = "worker",
+             preamble: str = "") -> str:
+    """Merge ``(worker_id, exposition_text)`` pairs into one document.
+
+    Each worker's samples get ``label="<worker_id>"`` injected, families
+    are re-grouped so all samples of a name are contiguous, and HELP/
+    TYPE headers are emitted once per family (first worker's wording
+    wins).  *preamble* is prepended verbatim (the gateway's own,
+    un-labelled, fleet-level families).
+    """
+    help_lines: Dict[str, str] = {}
+    type_lines: Dict[str, str] = {}
+    samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+
+    def bucket(family: str) -> List[str]:
+        if family not in samples:
+            samples[family] = []
+            order.append(family)
+        return samples[family]
+
+    for worker_id, text in expositions:
+        labelled = inject_label(text, label, worker_id)
+        for line in labelled.splitlines():
+            if not line.strip():
+                continue
+            header = _HEADER_RE.match(line)
+            if header is not None:
+                kind, family, _ = header.groups()
+                bucket(family)
+                target = help_lines if kind == "HELP" else type_lines
+                target.setdefault(family, line)
+                continue
+            if line.startswith("#"):
+                continue  # stray comments don't federate
+            match = _SAMPLE_RE.match(line)
+            if match is None:
+                continue  # malformed line: drop rather than corrupt
+            family = _family_of(match.group(1), samples)
+            bucket(family).append(line)
+
+    lines: List[str] = []
+    if preamble:
+        lines.extend(preamble.rstrip("\n").splitlines())
+    for family in order:
+        rows = samples[family]
+        if not rows and family not in type_lines:
+            continue
+        if family in help_lines:
+            lines.append(help_lines[family])
+        if family in type_lines:
+            lines.append(type_lines[family])
+        lines.extend(rows)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,14 +1,25 @@
-"""Retry behaviour of the HTTP client's transport layer."""
+"""Retry behaviour of the HTTP client's transport layer.
 
+Port 9 (discard) refuses connections, which by default now FAST-FAILS
+with :class:`RTMConnectionError` instead of consuming the retry budget.
+The legacy retry/backoff tests therefore opt back in with
+``retry_refused=True`` so a refused connection behaves like any
+transient transport error; the fast-fail contract has its own tests at
+the bottom.
+"""
+
+import time
 from urllib.error import HTTPError, URLError
 
 import pytest
 
-from repro.core import Monitor, RTMClient, RTMClientError
+from repro.core import (Monitor, RTMClient, RTMClientError,
+                        RTMConnectionError)
 from repro.gpu import GPUPlatform, GPUPlatformConfig
 
 
 def _client(max_retries=3, **kwargs):
+    kwargs.setdefault("retry_refused", True)
     client = RTMClient("http://127.0.0.1:9", max_retries=max_retries,
                        backoff=0.01, **kwargs)
     client._sleep = client_sleeps(client)
@@ -136,6 +147,58 @@ def test_transient_then_success_recovers(monkeypatch):
     assert client._get("/api/overview") == {"ok": True}
     assert len(attempts) == 3
     assert client.retry_count == 2
+
+
+# ---------------------------------------------------------------------------
+# Connection-refused fast-fail (the default contract)
+# ---------------------------------------------------------------------------
+
+def test_connection_refused_fast_fails_without_retries():
+    # Default client (no retry_refused): a dead port is a definitive
+    # verdict, answered immediately — no retries, no sleeps.
+    client = RTMClient("http://127.0.0.1:9", max_retries=5, backoff=0.5)
+    sleeps = []
+    client._sleep = sleeps.append
+    with pytest.raises(RTMConnectionError, match="connection refused"):
+        client.overview()
+    assert client.retry_count == 0
+    assert sleeps == []
+
+
+def test_connection_refused_returns_well_under_one_backoff_cycle():
+    # Regression for the satellite: probing a dead worker must answer in
+    # far less than a single backoff delay (real sleeps, big backoff).
+    client = RTMClient("http://127.0.0.1:9", max_retries=3, backoff=2.0)
+    start = time.monotonic()
+    with pytest.raises(RTMConnectionError):
+        client.overview()
+    assert time.monotonic() - start < 1.0  # one backoff would be >= 2 s
+
+
+def test_connection_error_is_a_client_error_subclass():
+    # except RTMClientError keeps catching the fast-fail too.
+    assert issubclass(RTMConnectionError, RTMClientError)
+
+
+def test_metrics_stream_refuses_fast():
+    client = RTMClient("http://127.0.0.1:9", max_retries=3, backoff=2.0)
+    sleeps = []
+    client._sleep = sleeps.append
+    start = time.monotonic()
+    with pytest.raises(RTMConnectionError):
+        for _ in client.metrics_stream(max_events=1):
+            pass
+    assert time.monotonic() - start < 1.0
+    assert sleeps == []
+
+
+def test_retry_refused_opts_back_into_backoff():
+    # The old behaviour stays one flag away for flaky-network users.
+    client = _client(max_retries=2)  # helper sets retry_refused=True
+    with pytest.raises(RTMClientError, match="after 3 attempts"):
+        client.overview()
+    assert client.retry_count == 2
+    assert len(client.sleep_log) == 2
 
 
 def test_retry_against_live_server_is_transparent():

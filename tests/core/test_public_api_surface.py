@@ -15,7 +15,8 @@ def test_core_exports_the_monitoring_stack():
                  "SamplingProfiler", "ValueMonitor", "ValueWatch",
                  "ProgressBar", "HangDetector", "ResourceMonitor",
                  "AlertManager", "AlertRule", "SeriesRecorder",
-                 "Watchdog", "WatchdogConfig"):
+                 "Watchdog", "WatchdogConfig", "RTMConnectionError",
+                 "HTTPServerThread", "JSONRequestHandler"):
         assert hasattr(core, name), name
         assert name in core.__all__
 
@@ -95,5 +96,16 @@ def test_client_mirrors_every_view_endpoint():
                    "watch", "unwatch", "add_alert", "remove_alert",
                    "profile_start", "profile_stop",
                    "faults", "inject_fault", "revoke_fault",
-                   "watchdog", "watchdog_start", "watchdog_stop"):
+                   "watchdog", "watchdog_start", "watchdog_stop",
+                   "fleet_status", "fleet_workers", "fleet_jobs",
+                   "fleet_worker_get"):
         assert callable(getattr(RTMClient, method)), method
+
+
+def test_fleet_exports_the_orchestration_stack():
+    from repro import fleet
+
+    for name in ("FleetGateway", "FleetManager", "Job", "JobQueue",
+                 "JobSpec", "WorkerHandle", "workload_catalog"):
+        assert hasattr(fleet, name), name
+        assert name in fleet.__all__

@@ -1,0 +1,151 @@
+"""JobQueue scheduling semantics: ordering, retries, duplicates."""
+
+import pytest
+
+from repro.fleet import JobQueue, JobSpec, workload_catalog
+
+
+def _spec(job_id="j1", **kwargs):
+    kwargs.setdefault("workload", "fir")
+    return JobSpec(job_id, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# JobSpec validation (the workloads --json catalog contract)
+# ---------------------------------------------------------------------------
+
+def test_catalog_has_the_suite_plus_storestorm():
+    catalog = workload_catalog()
+    assert {"aes", "bfs", "fir", "im2col", "kmeans",
+            "matmul", "storestorm"} <= set(catalog)
+
+
+def test_unknown_workload_is_rejected():
+    with pytest.raises(ValueError, match="unknown workload"):
+        _spec(workload="nonesuch").validate()
+
+
+def test_unknown_workload_param_is_rejected():
+    with pytest.raises(ValueError, match="parameter"):
+        _spec(params={"bogus_knob": 3}).validate()
+
+
+def test_param_overrides_build_the_workload():
+    spec = _spec(params={"num_taps": 4})
+    spec.validate()
+    assert spec.build_workload().num_taps == 4
+
+
+def test_fault_without_kind_is_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        _spec(fault={"target": "*"}).validate()
+
+
+def test_spec_round_trips_through_dict():
+    spec = _spec(chiplets=3, fault={"kind": "stall", "target": "*"},
+                 max_retries=2)
+    clone = JobSpec.from_dict(spec.to_dict())
+    assert clone == spec
+
+
+# ---------------------------------------------------------------------------
+# Queue ordering and claiming
+# ---------------------------------------------------------------------------
+
+def test_fifo_claim_order():
+    queue = JobQueue()
+    queue.submit_all([_spec("a"), _spec("b"), _spec("c")])
+    assert [queue.claim("w1").spec.job_id for _ in range(3)] == \
+        ["a", "b", "c"]
+    assert queue.claim("w1") is None
+
+
+def test_duplicate_job_id_is_an_error():
+    queue = JobQueue()
+    queue.submit(_spec("a"))
+    with pytest.raises(ValueError, match="duplicate"):
+        queue.submit(_spec("a"))
+
+
+def test_claim_marks_running_and_records_worker():
+    queue = JobQueue()
+    queue.submit(_spec("a"))
+    job = queue.claim("w7")
+    assert job.state == "running"
+    assert job.worker_id == "w7"
+    assert job.workers == ["w7"]
+
+
+# ---------------------------------------------------------------------------
+# Restart policy
+# ---------------------------------------------------------------------------
+
+def test_failed_job_requeues_at_the_front():
+    queue = JobQueue()
+    queue.submit_all([_spec("a", max_retries=1), _spec("b")])
+    queue.claim("w1")  # a
+    queue.fail("a", "boom")
+    # The retry must not starve behind b.
+    assert queue.claim("w2").spec.job_id == "a"
+
+
+def test_retry_exhaustion_marks_terminal_failure():
+    queue = JobQueue()
+    queue.submit(_spec("a", max_retries=2))
+    for attempt in range(3):
+        job = queue.claim(f"w{attempt + 1}")
+        assert job.attempt == attempt
+        queue.fail("a", f"boom {attempt}", {"exit_code": 1})
+    job = queue.get("a")
+    assert job.state == "failed"
+    assert len(job.failures) == 3
+    assert job.failures[-1]["post_mortem"] == {"exit_code": 1}
+    assert queue.claim("w9") is None
+    assert queue.done
+
+
+def test_zero_retries_fails_on_first_crash():
+    queue = JobQueue()
+    queue.submit(_spec("a", max_retries=0))
+    queue.claim("w1")
+    queue.fail("a", "boom")
+    assert queue.get("a").state == "failed"
+    assert queue.pending_count == 0
+
+
+def test_retries_counter_excludes_the_terminal_attempt():
+    queue = JobQueue()
+    queue.submit(_spec("a", max_retries=1))
+    queue.claim("w1")
+    queue.fail("a", "first")   # requeued: 1 retry
+    queue.claim("w2")
+    queue.fail("a", "second")  # terminal: not a retry
+    job = queue.get("a")
+    assert job.retries == 1
+    assert queue.counts()["retries"] == 1
+
+
+def test_complete_records_result_and_counts():
+    queue = JobQueue()
+    queue.submit_all([_spec("a"), _spec("b")])
+    queue.claim("w1")
+    queue.complete("a", {"sim_time": 1e-6})
+    counts = queue.counts()
+    assert counts == {"queued": 1, "running": 0, "completed": 1,
+                      "failed": 0, "total": 2, "retries": 0}
+    assert queue.get("a").result == {"sim_time": 1e-6}
+    assert not queue.done  # b still queued
+
+
+def test_to_dict_carries_spec_state_and_history():
+    queue = JobQueue()
+    queue.submit(_spec("a", max_retries=1))
+    queue.claim("w1")
+    queue.fail("a", "boom")
+    queue.claim("w2")
+    queue.complete("a")
+    (payload,) = queue.to_dict()
+    assert payload["spec"]["job_id"] == "a"
+    assert payload["state"] == "completed"
+    assert payload["workers"] == ["w1", "w2"]
+    assert payload["retries"] == 1

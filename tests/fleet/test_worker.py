@@ -1,0 +1,77 @@
+"""The worker subprocess: control channel framing, spec handling."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.fleet.worker import CONTROL_PREFIX, emit
+
+
+def _run_worker(spec_json, *extra, timeout=120):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.fleet.worker",
+         "--spec", spec_json, *extra],
+        capture_output=True, text=True, timeout=timeout, env=env)
+
+
+def _control_events(stdout):
+    events = []
+    for line in stdout.splitlines():
+        if line.startswith(CONTROL_PREFIX):
+            events.append(json.loads(line[len(CONTROL_PREFIX):]))
+    return events
+
+
+def test_emit_writes_prefixed_flushed_json(capsys):
+    emit({"event": "register", "pid": 1})
+    out = capsys.readouterr().out
+    assert out.startswith(CONTROL_PREFIX)
+    assert json.loads(out[len(CONTROL_PREFIX):]) == \
+        {"event": "register", "pid": 1}
+
+
+@pytest.mark.slow
+def test_worker_runs_a_job_and_ships_the_result():
+    spec = {"job_id": "fir-c1", "workload": "fir", "chiplets": 1}
+    proc = _run_worker(json.dumps(spec))
+    assert proc.returncode == 0, proc.stderr
+    events = _control_events(proc.stdout)
+    kinds = [e["event"] for e in events]
+    assert kinds == ["register", "result"]
+
+    register, result = events
+    assert register["job_id"] == "fir-c1"
+    assert register["url"].startswith("http://127.0.0.1:")
+    assert register["pid"] > 0
+    assert register["port"] == int(register["url"].rsplit(":", 1)[1])
+
+    assert result["ok"] is True
+    assert result["run_state"] == "completed"
+    assert result["sim_time"] > 0
+    assert result["events"] > 0
+    # The final exposition rides the control channel so the gateway can
+    # keep serving this worker's series after the process dies.
+    assert "rtm_engine_events_total" in result["metrics_text"]
+
+
+def test_bad_spec_is_rejected_before_any_simulation():
+    proc = _run_worker(json.dumps({"job_id": "x",
+                                   "workload": "nonesuch"}))
+    assert proc.returncode == 2
+    (result,) = _control_events(proc.stdout)
+    assert result["event"] == "result"
+    assert result["run_state"] == "rejected"
+    assert "unknown workload" in result["error"]
+
+
+def test_malformed_spec_json_is_rejected():
+    proc = _run_worker("{not json")
+    assert proc.returncode == 2
+    (result,) = _control_events(proc.stdout)
+    assert result["run_state"] == "rejected"

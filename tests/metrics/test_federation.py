@@ -1,0 +1,120 @@
+"""Label injection and multi-worker federation of text expositions."""
+
+from repro.metrics import MetricRegistry, expose, federate, inject_label
+
+
+# ---------------------------------------------------------------------------
+# inject_label
+# ---------------------------------------------------------------------------
+
+def test_inject_adds_brace_block_to_bare_samples():
+    text = "rtm_events_total 42\n"
+    assert inject_label(text, "worker", "w1") == \
+        'rtm_events_total{worker="w1"} 42\n'
+
+
+def test_inject_prepends_to_existing_labels():
+    text = 'rtm_jobs{state="queued"} 3\n'
+    assert inject_label(text, "worker", "w2") == \
+        'rtm_jobs{worker="w2",state="queued"} 3\n'
+
+
+def test_inject_skips_samples_already_carrying_the_label():
+    text = 'rtm_jobs{worker="w9",state="queued"} 3\n'
+    assert inject_label(text, "worker", "w1") == text
+
+
+def test_inject_leaves_comments_and_blank_lines_alone():
+    text = ("# HELP rtm_x Things.\n"
+            "# TYPE rtm_x counter\n"
+            "\n"
+            "rtm_x 1\n")
+    out = inject_label(text, "worker", "w1")
+    assert "# HELP rtm_x Things." in out
+    assert "# TYPE rtm_x counter" in out
+    assert 'rtm_x{worker="w1"} 1' in out
+
+
+def test_inject_escapes_label_value():
+    out = inject_label("m 1\n", "worker", 'we"ird\\')
+    assert out == 'm{worker="we\\"ird\\\\"} 1\n'
+
+
+def test_inject_real_exposition_round_trips():
+    registry = MetricRegistry()
+    registry.counter("jobs_total", "Jobs.").inc(5)
+    gauge = registry.gauge("load", "Load.", ("cpu",))
+    gauge.labels("0").set(0.5)
+    out = inject_label(expose(registry), "worker", "w1")
+    assert 'jobs_total{worker="w1"} 5' in out
+    assert 'load{worker="w1",cpu="0"} 0.5' in out
+
+
+# ---------------------------------------------------------------------------
+# federate
+# ---------------------------------------------------------------------------
+
+def _exposition(value):
+    return ("# HELP rtm_events_total Simulation events.\n"
+            "# TYPE rtm_events_total counter\n"
+            f"rtm_events_total {value}\n")
+
+
+def test_federate_labels_every_worker():
+    out = federate([("w1", _exposition(10)), ("w2", _exposition(20))])
+    assert 'rtm_events_total{worker="w1"} 10' in out
+    assert 'rtm_events_total{worker="w2"} 20' in out
+
+
+def test_federate_emits_headers_once_and_groups_families():
+    out = federate([("w1", _exposition(1)), ("w2", _exposition(2))])
+    lines = out.splitlines()
+    assert lines.count("# HELP rtm_events_total Simulation events.") == 1
+    assert lines.count("# TYPE rtm_events_total counter") == 1
+    # Both samples are contiguous, right after the headers.
+    idx = lines.index("# TYPE rtm_events_total counter")
+    assert lines[idx + 1].startswith("rtm_events_total{")
+    assert lines[idx + 2].startswith("rtm_events_total{")
+
+
+def test_federate_first_help_wording_wins():
+    a = "# HELP m First wording.\n# TYPE m gauge\nm 1\n"
+    b = "# HELP m Second wording.\n# TYPE m gauge\nm 2\n"
+    out = federate([("w1", a), ("w2", b)])
+    assert "First wording." in out
+    assert "Second wording." not in out
+
+
+def test_federate_groups_histogram_series_under_base_family():
+    text = ("# HELP lat Latency.\n"
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.5"} 1\n'
+            'lat_bucket{le="+Inf"} 2\n'
+            "lat_sum 0.7\n"
+            "lat_count 2\n")
+    out = federate([("w1", text), ("w2", text)])
+    lines = [l for l in out.splitlines() if not l.startswith("#")]
+    # All 8 series stay under the single pair of headers, workers
+    # interleaved by family, not split into separate family blocks.
+    assert len(lines) == 8
+    assert out.splitlines().count("# TYPE lat histogram") == 1
+
+
+def test_federate_prepends_preamble_unlabelled():
+    preamble = ("# HELP rtm_fleet_workers_live Live workers.\n"
+                "# TYPE rtm_fleet_workers_live gauge\n"
+                "rtm_fleet_workers_live 2\n")
+    out = federate([("w1", _exposition(1))], preamble=preamble)
+    assert out.startswith("# HELP rtm_fleet_workers_live")
+    assert "rtm_fleet_workers_live 2\n" in out  # no worker label
+
+
+def test_federate_empty_input_is_empty():
+    assert federate([]) == ""
+
+
+def test_federate_worker_unique_families_pass_through():
+    extra = "# HELP only_w2 Special.\n# TYPE only_w2 gauge\nonly_w2 9\n"
+    out = federate([("w1", _exposition(1)),
+                    ("w2", _exposition(2) + extra)])
+    assert 'only_w2{worker="w2"} 9' in out

@@ -1,5 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
 import pytest
 
 from repro.cli import main
@@ -119,6 +126,87 @@ def test_metrics_dumps_to_stdout(capsys):
     captured = capsys.readouterr()
     assert "rtm_engine_events_total" in captured.out
     assert "# run completed" in captured.err
+
+
+def test_workloads_json_catalog(capsys):
+    assert main(["workloads", "--json"]) == 0
+    catalog = json.loads(capsys.readouterr().out)
+    names = {entry["name"] for entry in catalog}
+    # The fleet catalog: the paper's suite plus the crash-campaign
+    # diagnostic — the contract fleet jobs are validated against.
+    assert {"aes", "bfs", "fir", "im2col", "kmeans", "matmul",
+            "storestorm"} <= names
+    fir = next(e for e in catalog if e["name"] == "fir")
+    assert fir["type"] == "FIR"
+    assert "num_taps" in fir["params"]  # overridable via JobSpec.params
+    assert fir["workgroups"] > 0
+    assert fir["input_bytes"] > 0
+
+
+@pytest.mark.slow
+def test_fleet_run_small_campaign(capsys, tmp_path):
+    status_out = tmp_path / "fleet_status.json"
+    metrics_out = tmp_path / "fleet_metrics.txt"
+    assert main(["fleet", "run", "--workers", "2",
+                 "--workloads", "fir", "--chiplets", "1,2",
+                 "--status-out", str(status_out),
+                 "--metrics-out", str(metrics_out)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet gateway: http://127.0.0.1:" in out
+    assert "drained: 2 completed, 0 failed" in out
+
+    status = json.loads(status_out.read_text())
+    assert status["summary"]["completed"] == 2
+    assert {j["spec"]["job_id"] for j in status["jobs"]} == \
+        {"fir-c1", "fir-c2"}
+
+    metrics = metrics_out.read_text()
+    assert 'worker="w1"' in metrics
+    assert 'worker="w2"' in metrics
+    assert 'rtm_fleet_jobs{state="completed"} 2' in metrics
+
+
+def test_fleet_run_rejects_unknown_workload(capsys):
+    assert main(["fleet", "run", "--workloads", "doom"]) == 2
+    assert "unknown workloads doom" in capsys.readouterr().err
+
+
+def test_fleet_status_against_dead_gateway(capsys):
+    assert main(["fleet", "status", "--url",
+                 "http://127.0.0.1:9"]) == 1
+    assert "connection refused" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_run_sigterm_exits_zero_after_flushing():
+    # The satellite contract: a fleet manager (or operator) SIGTERMing
+    # `repro run` gets a clean stop — engine aborted, exports flushed,
+    # exit status 0.
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+    env["PYTHONPATH"] = src
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "run", "im2col",
+         "--chiplets", "1", "--progress-interval", "0.1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        # Wait until the run is demonstrably underway, then interrupt.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if "state=running" in line:
+                break
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "shutdown signal honoured" in out
+    assert "interrupted" in out
 
 
 def test_unknown_command_rejected():

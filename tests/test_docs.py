@@ -53,6 +53,9 @@ def test_public_modules_have_docstrings():
             "repro.core.export", "repro.core.watchdog",
             "repro.faults", "repro.faults.injector",
             "repro.faults.scenarios", "repro.faults.campaign",
+            "repro.fleet", "repro.fleet.queue", "repro.fleet.worker",
+            "repro.fleet.manager", "repro.fleet.gateway",
+            "repro.metrics.federation",
             "repro.gpu.platform", "repro.gpu.rob", "repro.gpu.cu",
             "repro.gpu.rdma", "repro.gpu.network", "repro.gpu.debug",
             "repro.studies.session", "repro.studies.survey",
@@ -62,9 +65,9 @@ def test_public_modules_have_docstrings():
 
 
 def test_public_classes_have_docstrings():
-    from repro import akita, core, faults, gpu
+    from repro import akita, core, faults, fleet, gpu
 
-    for namespace in (akita, core, faults, gpu):
+    for namespace in (akita, core, faults, fleet, gpu):
         for name in namespace.__all__:
             obj = getattr(namespace, name)
             if isinstance(obj, type):

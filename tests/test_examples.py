@@ -109,6 +109,21 @@ def test_trace_capture(tmp_path):
 
 
 @pytest.mark.slow
+def test_fleet_sweep():
+    out = _run("fleet_sweep.py")
+    assert "fleet gateway: http://127.0.0.1:" in out
+    assert "campaign drained" in out
+    assert "fir-c1: completed after 2 attempt(s)" in out
+    assert "watchdog verdict: aborted" in out
+    assert "summary: 3 completed, 0 failed, 1 retries" in out
+    # Four workers were spent (3 jobs + 1 retried attempt), and every
+    # one of them appears in the single federated scrape.
+    labels_line = next(line for line in out.splitlines()
+                       if line.startswith("federated scrape labels:"))
+    assert all(w in labels_line for w in ("w1", "w2", "w3", "w4"))
+
+
+@pytest.mark.slow
 def test_custom_simulator():
     out = _run("custom_simulator.py")
     assert "<-- the slow component's input" in out
