@@ -1,16 +1,34 @@
-"""Fleet orchestration throughput and gateway scrape latency.
+"""Fleet orchestration throughput: warm pool vs cold per-attempt dispatch.
 
-Not a paper figure — the question a sweep user asks: how much wall
-time does the orchestration layer itself add?  Asserted shape, not
-absolute numbers:
+Not a paper figure — the question a sweep user asks: how much wall time
+does the orchestration layer itself add?  The PR-5 fleet answered
+"too much": one subprocess per attempt re-paid interpreter start,
+module imports and server teardown on every job, measuring **0.97x**
+at 2 workers — the pool inverted its own parallelism.
 
-* a pool drains its queue completely, and running W workers is not
-  slower than running the same queue on one worker (the scheduler,
-  control channel and per-attempt subprocess startup must not eat the
-  parallelism);
-* one federated ``/metrics`` scrape over the finished campaign (all
-  expositions served from the control-channel cache) answers in
-  well under a second.
+The warm persistent-worker pool pays those fixed costs once per
+*worker* instead of once per *job*.  This benchmark drains the same
+8-job campaign (`fir`, ``num_samples=1024`` — short jobs, the shape
+that dominates real parameter sweeps and punishes per-job overhead
+hardest) three ways and gates the ratios:
+
+* **cold serial** — ``warm=False``, 1 worker: the old dispatch, the
+  baseline;
+* **warm x2** — must beat the baseline by >= 1.7x;
+* **warm x4** — must beat it by >= 3.0x.
+
+Pool boot (interpreter + imports + server bind per worker) is excluded
+from the timed region via ``wait_ready()`` — a pool boots once and then
+serves many campaigns, so campaign throughput is what's measured.  The
+gates hold even on a single-core runner: the win comes from deleting
+per-job fixed costs, not from CPU parallelism (on multi-core runners
+the simulation work itself parallelizes on top of it).
+
+``fleet_throughput_summary.txt`` (committed at the repo root) is this
+file's output — regenerate it with::
+
+    PYTHONPATH=src python -m pytest \
+        benchmarks/test_fleet_throughput.py -q -s
 """
 
 import time
@@ -23,50 +41,69 @@ from repro.fleet import FleetGateway, FleetManager, JobQueue, JobSpec
 
 pytestmark = pytest.mark.slow
 
+_NUM_JOBS = 8
+_JOB_PARAMS = {"num_samples": 1024}
+_GATES = {2: 1.7, 4: 3.0}
 
-def _drain(num_jobs, num_workers, prefix):
+
+def _drain_timed(num_workers, warm, prefix):
+    """Wall seconds to drain the standard campaign, pool boot excluded."""
     queue = JobQueue()
-    queue.submit_all([JobSpec(f"{prefix}-{i}", "fir", chiplets=1)
-                      for i in range(num_jobs)])
-    manager = FleetManager(queue, num_workers=num_workers)
-    gateway = FleetGateway(manager)
-    gateway.start()
-    start = time.perf_counter()
+    manager = FleetManager(queue, num_workers=num_workers, warm=warm)
     manager.start()
-    drained = manager.wait(timeout=300.0)
+    assert manager.wait_ready(timeout=120), f"{prefix}: pool never booted"
+    specs = [JobSpec(f"{prefix}-{i}", "fir", params=dict(_JOB_PARAMS))
+             for i in range(_NUM_JOBS)]
+    start = time.perf_counter()
+    queue.submit_all(specs)
+    drained = manager.wait(timeout=600.0)
     wall = time.perf_counter() - start
+    manager.stop()
     assert drained, f"{prefix}: queue did not drain"
-    assert queue.counts()["completed"] == num_jobs
-    return manager, gateway, wall
+    counts = queue.counts()
+    assert counts["completed"] == _NUM_JOBS, counts
+    return wall
 
 
-def test_parallel_drain_is_not_slower_than_serial():
-    m1, g1, serial = _drain(num_jobs=4, num_workers=1, prefix="serial")
-    m1.stop()
-    g1.stop()
-    m2, g2, parallel = _drain(num_jobs=4, num_workers=2,
-                              prefix="parallel")
-    m2.stop()
-    g2.stop()
+def test_warm_pool_speedup_over_cold_dispatch():
+    cold = _drain_timed(num_workers=1, warm=False, prefix="cold")
+    warm = {w: _drain_timed(num_workers=w, warm=True,
+                            prefix=f"warm{w}")
+            for w in sorted(_GATES)}
 
-    speedup = serial / parallel
-    summary = (f"=== Fleet throughput (4 x fir-c1) ===\n"
-               f"1 worker : {serial:7.2f}s  "
-               f"({4 / serial:.2f} jobs/s)\n"
-               f"2 workers: {parallel:7.2f}s  "
-               f"({4 / parallel:.2f} jobs/s)\n"
-               f"speedup  : {speedup:.2f}x\n")
+    def line(name, wall):
+        return (f"{name:24s} {wall:7.2f}s  "
+                f"({_NUM_JOBS / wall:5.2f} jobs/s)")
+
+    rows = [line("cold serial (baseline)", cold)]
+    for w, wall in warm.items():
+        rows.append(line(f"warm pool, {w} workers", wall)
+                    + f"  {cold / wall:5.2f}x  (gate >= {_GATES[w]}x)")
+    summary = (f"=== Fleet throughput ({_NUM_JOBS} x fir "
+               f"num_samples={_JOB_PARAMS['num_samples']}) ===\n"
+               "baseline: one cold subprocess per job attempt, serial\n"
+               "(pool boot excluded from all timed regions)\n"
+               + "\n".join(rows) + "\n")
     print("\n" + summary)
     Path("fleet_throughput_summary.txt").write_text(summary)
-    # Orchestration overhead must not invert the parallelism; the 1.25
-    # allowance absorbs single-core CI runners where two CPU-bound
-    # workers merely interleave.
-    assert parallel <= serial * 1.25, summary
+
+    for w, gate in _GATES.items():
+        speedup = cold / warm[w]
+        assert speedup >= gate, (
+            f"warm pool at {w} workers: {speedup:.2f}x < {gate}x gate\n"
+            + summary)
 
 
 def test_post_campaign_federated_scrape_is_sub_second():
-    manager, gateway, _wall = _drain(num_jobs=3, num_workers=3,
-                                     prefix="scrape")
+    queue = JobQueue()
+    queue.submit_all([JobSpec(f"scrape-{i}", "fir",
+                              params=dict(_JOB_PARAMS))
+                      for i in range(3)])
+    manager = FleetManager(queue, num_workers=3)
+    gateway = FleetGateway(manager)
+    gateway.start()
+    manager.start()
+    assert manager.wait(timeout=300.0)
     try:
         client = RTMClient(gateway.url)
         laps = []
@@ -74,10 +111,10 @@ def test_post_campaign_federated_scrape_is_sub_second():
             start = time.perf_counter()
             text = client.metrics_text()
             laps.append(time.perf_counter() - start)
-        # All three exited workers answer from the control-channel
-        # cache — no live scraping, no timeouts.
-        for worker in ("w1", "w2", "w3"):
-            assert f'worker="{worker}"' in text
+        # Every finished job answers from the control-channel cache —
+        # no live scraping, no timeouts — labelled (worker, job).
+        for i in range(3):
+            assert f'job="scrape-{i}"' in text
         median = sorted(laps)[1]
         print(f"\nfederated scrape latency: median {median * 1e3:.1f}ms "
               f"over {len(laps)} scrapes")

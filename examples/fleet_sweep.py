@@ -5,14 +5,19 @@ One `JobQueue` holds a FIR x chiplet-count grid; the first job's first
 attempt is sabotaged with a write-buffer stall fault, so the run
 demonstrates the whole orchestration story end to end:
 
-* the `FleetManager` spawns one worker subprocess per job attempt;
-* the sabotaged worker hangs, the fleet-tuned watchdog aborts it, and
-  the restart policy requeues the job at the front of the line;
+* the `FleetManager` boots a pool of warm persistent workers — each
+  subprocess starts its interpreter and RTM server once, then runs a
+  stream of jobs over the stdin/stdout control channel, resetting
+  simulation state between jobs;
+* the sabotaged run hangs, the fleet-tuned watchdog aborts it (the
+  worker itself survives and keeps serving), and the restart policy
+  requeues the job at the front of the line;
 * the retry (fault disarmed from attempt 1 on) completes;
 * the `FleetGateway` serves a live `/api/fleet` view, reverse-proxies
   each worker's own dashboard API, and answers one federated /metrics
-  scrape in which every worker's series carries a `worker="wN"` label
-  -- including workers that already exited.
+  scrape in which every job's series carries `worker="wN",job="<id>"`
+  labels -- jobs whose worker moved on (or died) federate from the
+  control-channel cache of final expositions.
 
 Run:  python examples/fleet_sweep.py
 """
@@ -61,10 +66,12 @@ def main() -> None:
                   f"{failure['error']} "
                   f"(watchdog verdict: {verdict.get('verdict')})")
 
-    labels = sorted({line.split('worker="', 1)[1].split('"', 1)[0]
+    labels = sorted({(line.split('worker="', 1)[1].split('"', 1)[0],
+                      line.split('job="', 1)[1].split('"', 1)[0])
                      for line in metrics.splitlines()
-                     if 'worker="' in line})
-    print(f"federated scrape labels: {', '.join(labels)}")
+                     if 'worker="' in line and 'job="' in line})
+    print("federated scrape series: "
+          + ", ".join(f"{w}/{j}" for w, j in labels))
     summary = status["summary"]
     print(f"summary: {summary['completed']} completed, "
           f"{summary['failed']} failed, {summary['retries']} retries")

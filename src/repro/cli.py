@@ -142,6 +142,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--buggy-l2", action="store_true",
                            help="enable case study 2's write-buffer "
                                 "bug in every job")
+    fleet_run.add_argument("--cold", action="store_true",
+                           help="legacy dispatch: one subprocess per "
+                                "job attempt instead of a warm "
+                                "persistent-worker pool")
+    fleet_run.add_argument("--worker-restarts", type=int, default=None,
+                           help="crashed warm workers replaced before "
+                                "the pool gives up (default: one per "
+                                "worker slot)")
     fleet_run.add_argument("--max-retries", type=int, default=1,
                            help="restart-policy budget per job "
                                 "(default 1)")
@@ -453,12 +461,15 @@ def _fleet_run(args: argparse.Namespace) -> int:
 
     queue = JobQueue()
     queue.submit_all(specs)
-    manager = FleetManager(queue, num_workers=args.workers)
+    manager = FleetManager(queue, num_workers=args.workers,
+                           warm=not args.cold,
+                           max_worker_restarts=args.worker_restarts)
     gateway = FleetGateway(manager, port=args.port)
     gateway.start()
     manager.start()
     print(f"fleet gateway: {gateway.url}  "
-          f"({len(specs)} jobs, {args.workers} workers)")
+          f"({len(specs)} jobs, {args.workers} "
+          f"{'cold' if args.cold else 'warm'} workers)")
     try:
         drained = manager.wait(timeout=args.timeout)
         # Harvest through the gateway's public API, like any client

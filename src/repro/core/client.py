@@ -360,6 +360,15 @@ class RTMClient:
         proxy, e.g. ``fleet_worker_get("w1", "/api/overview")``."""
         return self._get(f"/api/fleet/{worker_id}{endpoint}", **params)
 
+    def fleet_job_metrics(self, job_id: str) -> str:
+        """One job's final Prometheus exposition (``worker``/``job``
+        labelled), served from the gateway's control-channel cache —
+        available long after the worker that ran the job moved on to
+        another job or exited.  Raises :class:`RTMClientError` (404)
+        while the job has not shipped a final exposition yet."""
+        return self._call("GET", f"/api/fleet/jobs/{job_id}/metrics",
+                          parse_json=False)
+
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:
         self._post("/api/pause")

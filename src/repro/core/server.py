@@ -754,9 +754,17 @@ class HTTPServerThread:
 
     thread_name = "rtm-http"
 
+    #: ``serve_forever`` wakes at this interval to notice ``shutdown()``.
+    #: The stdlib default (0.5 s) makes every server stop cost up to
+    #: half a second of pure sleeping — per *job* under the old
+    #: one-subprocess-per-attempt fleet, which is one of the fixed
+    #: costs the warm pool exists to amortize.
+    poll_interval = 0.05
+
     def __init__(self, handler, host: str = "127.0.0.1", port: int = 0):
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.stopping = threading.Event()
+        self._handler = handler
         self._thread: Optional[threading.Thread] = None
         self.host = host
         self.port = self._httpd.server_address[1]
@@ -766,9 +774,10 @@ class HTTPServerThread:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> None:
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
-                                        daemon=True,
-                                        name=self.thread_name)
+        self._thread = threading.Thread(
+            target=lambda: self._httpd.serve_forever(
+                poll_interval=self.poll_interval),
+            daemon=True, name=self.thread_name)
         self._thread.start()
 
     def stop(self) -> None:
@@ -781,10 +790,31 @@ class HTTPServerThread:
 
 
 class RTMServer(HTTPServerThread):
-    """The monitor-bound HTTP server (one per simulation)."""
+    """The monitor-bound HTTP server.
+
+    Classically one per simulation; a warm fleet worker instead keeps
+    one server alive across many simulations and :meth:`rebind`\\ s it
+    to each job's fresh monitor — the worker's dashboard URL (and the
+    gateway's reverse-proxy route to it) stays stable for the process
+    lifetime while the simulation behind it changes.
+    """
 
     thread_name = "rtm-server"
 
     def __init__(self, monitor, host: str = "127.0.0.1", port: int = 0):
         handler = type("BoundHandler", (_Handler,), {"monitor": monitor})
         super().__init__(handler, host=host, port=port)
+
+    @property
+    def monitor(self):
+        return self._handler.monitor
+
+    def rebind(self, monitor) -> None:
+        """Point the server at a different monitor.
+
+        Handler instances resolve ``monitor`` through their class at
+        request time, so flipping the class attribute switches every
+        *subsequent* request atomically; requests already in flight
+        finish against the monitor they started with.
+        """
+        self._handler.monitor = monitor

@@ -6,14 +6,19 @@ This package runs them behind a single pane of glass:
 
 * :class:`JobQueue` / :class:`JobSpec` — the parameter grid and its
   restart policy (:mod:`repro.fleet.queue`);
-* :class:`FleetManager` — the worker pool: one subprocess per job
-  attempt, a stdout control channel, crash detection with post-mortems
-  (:mod:`repro.fleet.manager`);
+* :class:`FleetManager` — an async dispatcher over a pool of warm
+  persistent workers (each boots once, then runs a stream of jobs over
+  the control channel), with worker-death detection, post-mortems and
+  a crashed-worker recycle budget; ``warm=False`` restores the legacy
+  one-subprocess-per-attempt dispatch (:mod:`repro.fleet.manager`);
+* the line-framed JSON control channel both sides speak
+  (:mod:`repro.fleet.protocol`);
 * the worker entry point itself (:mod:`repro.fleet.worker`, spawned as
-  ``python -m repro.fleet.worker``);
+  ``python -m repro.fleet.worker --serve``);
 * :class:`FleetGateway` — the aggregating front server: ``/api/fleet``,
-  a reverse proxy to every worker's own API, and a federated
-  ``/metrics`` with per-worker labels (:mod:`repro.fleet.gateway`).
+  a reverse proxy to every worker's own API, per-job final expositions
+  at ``/api/fleet/jobs/<job>/metrics``, and a federated ``/metrics``
+  with ``(worker, job)`` labels (:mod:`repro.fleet.gateway`).
 
 Typical campaign::
 
@@ -34,11 +39,14 @@ Typical campaign::
 
 from .gateway import FleetGateway
 from .manager import FleetManager, WorkerHandle
+from .protocol import CONTROL_PREFIX, FrameDecoder
 from .queue import Job, JobQueue, JobSpec, workload_catalog
 
 __all__ = [
+    "CONTROL_PREFIX",
     "FleetGateway",
     "FleetManager",
+    "FrameDecoder",
     "Job",
     "JobQueue",
     "JobSpec",

@@ -7,6 +7,7 @@ port.  The :class:`FleetGateway` is the stable front door:
 Method   Path                                 Purpose
 =======  ===================================  ==========================
 GET      /api/fleet                           workers, jobs, retries
+GET      /api/fleet/jobs/<job>/metrics        one job's final exposition
 GET      /api/fleet/<worker>/<rest...>        reverse proxy to worker
 POST     /api/fleet/<worker>/<rest...>        (same — control actions)
 DELETE   /api/fleet/<worker>/<rest...>        (same)
@@ -15,14 +16,20 @@ GET      /metrics                             federated exposition
 
 The reverse proxy makes every single-simulation view of the paper reach
 fleet scale unchanged: ``/api/fleet/w3/api/buffers`` is worker w3's
-bottleneck table, ``/api/fleet/w3/api/hang`` its hang verdict.
+bottleneck table, ``/api/fleet/w3/api/hang`` its hang verdict.  (The
+``jobs`` segment is reserved for the per-job route, so a worker cannot
+be named ``jobs``.)
 
 ``/metrics`` federates: the gateway's own fleet-level families (jobs by
-state, live workers, retries — un-labelled) followed by every worker's
-exposition with a ``worker="wN"`` label injected.  Exited workers keep
-appearing with the final exposition they shipped through the control
-channel, so one scrape taken after the campaign still carries every
-completed job's series.
+state, live workers, retries, worker restarts — un-labelled) followed
+by per-job expositions, each sample labelled with **both**
+``worker="wN"`` and ``job="<job_id>"`` — under the warm fleet one
+long-lived worker produces series for many jobs, so the worker label
+alone no longer identifies a run.  Completed jobs come from the
+control-channel cache (their worker may have moved on to another job,
+or died); jobs still running are scraped live from their worker.  Each
+job appears exactly once per scrape, so one scrape taken after the
+campaign carries every job's final series.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from ..core.server import (
     JSONRequestHandler,
 )
 from ..metrics import CONTENT_TYPE as _PROM_CONTENT_TYPE
-from ..metrics import MetricRegistry, expose, federate
+from ..metrics import MetricRegistry, expose, federate, inject_labels
 
 __all__ = ["FleetGateway"]
 
@@ -69,6 +76,16 @@ class _GatewayHandler(JSONRequestHandler):
                 self._send_body(body, _PROM_CONTENT_TYPE)
             elif path == "/api/fleet" and method == "GET":
                 self._send_json(self.gateway.status())
+            elif (method == "GET"
+                  and path.startswith("/api/fleet/jobs/")
+                  and path.endswith("/metrics")):
+                job_id = path[len("/api/fleet/jobs/"):-len("/metrics")]
+                text = self.gateway.job_metrics(job_id.rstrip("/"))
+                if text is None:
+                    self._send_error_json(
+                        f"no final metrics for job {job_id!r}", 404)
+                else:
+                    self._send_body(text.encode(), _PROM_CONTENT_TYPE)
             elif path.startswith("/api/fleet/"):
                 self._proxy(method, path)
             else:
@@ -94,10 +111,12 @@ class _GatewayHandler(JSONRequestHandler):
 class FleetGateway(HTTPServerThread):
     """The fleet's front server.
 
-    *manager* needs three methods — ``live_workers() -> {id: url}``,
-    ``final_metrics() -> {id: exposition}`` and ``status() -> dict`` —
-    which :class:`~repro.fleet.manager.FleetManager` provides; anything
-    with that shape (a test stub, a remote registry) federates too.
+    *manager* needs four methods — ``live_workers() -> {id: url}``,
+    ``scrape_targets() -> [{worker_id, job_id, url}]`` (live workers
+    currently running a job), ``final_metrics() -> {job_id: {worker_id,
+    attempt, text}}`` and ``status() -> dict`` — which
+    :class:`~repro.fleet.manager.FleetManager` provides; anything with
+    that shape (a test stub, a remote registry) federates too.
     """
 
     thread_name = "rtm-fleet-gateway"
@@ -124,6 +143,10 @@ class FleetGateway(HTTPServerThread):
             "rtm_fleet_job_retries_total",
             "Failed job attempts that were requeued by the restart "
             "policy.")
+        restarts = self.registry.gauge(
+            "rtm_fleet_worker_restarts_total",
+            "Crashed warm workers replaced by the manager's recycle "
+            "policy.")
 
         def collect() -> None:
             status = self.manager.status()
@@ -132,6 +155,7 @@ class FleetGateway(HTTPServerThread):
                 jobs.labels(state).set(float(summary.get(state, 0)))
             workers.set(float(len(self.manager.live_workers())))
             retries.set(float(summary.get("retries", 0)))
+            restarts.set(float(status.get("worker_restarts", 0)))
 
         self.registry.add_collector(collect)
 
@@ -144,29 +168,53 @@ class FleetGateway(HTTPServerThread):
         return status
 
     def federated_metrics(self) -> str:
-        """One exposition for the whole fleet (see module docstring)."""
-        live = self.manager.live_workers()
+        """One exposition for the whole fleet (see module docstring).
+
+        Per-job expositions, each labelled ``(worker, job)``.  Final
+        expositions (from the manager's control-channel cache) win over
+        a live scrape of the same job — the cache is the complete run,
+        the scrape a moment of it — so every job contributes exactly
+        one set of series no matter when the scrape lands.
+        """
+        finals = self.manager.final_metrics()
         expositions = []
         unreachable = []
-        for worker_id, url in sorted(live.items()):
+        for job_id, entry in sorted(finals.items()):
+            expositions.append(
+                ({"worker": str(entry.get("worker_id")),
+                  "job": job_id}, entry["text"]))
+        for target in sorted(self.manager.scrape_targets(),
+                             key=lambda t: (t["worker_id"],
+                                            t["job_id"])):
+            if target["job_id"] in finals:
+                continue  # a final already landed; don't double-count
             try:
-                with urlopen(Request(url + "/metrics", method="GET"),
+                with urlopen(Request(target["url"] + "/metrics",
+                                     method="GET"),
                              timeout=_PROXY_TIMEOUT) as response:
                     expositions.append(
-                        (worker_id, response.read().decode()))
+                        ({"worker": target["worker_id"],
+                          "job": target["job_id"]},
+                         response.read().decode()))
             except (URLError, TimeoutError, ConnectionError, OSError) \
                     as exc:
-                unreachable.append((worker_id, str(exc)))
-        for worker_id, text in sorted(
-                self.manager.final_metrics().items()):
-            if worker_id not in live:
-                expositions.append((worker_id, text))
+                unreachable.append((target["worker_id"], str(exc)))
         preamble = expose(self.registry)
-        body = federate(expositions, label="worker", preamble=preamble)
+        body = federate(expositions, preamble=preamble)
         for worker_id, error in unreachable:
             body += (f"# worker {worker_id} unreachable: "
                      f"{error}\n")
         return body
+
+    def job_metrics(self, job_id: str) -> Optional[str]:
+        """One job's final exposition, ``(worker, job)``-labelled like
+        the federated view; ``None`` if the job never shipped one."""
+        entry = self.manager.final_metrics().get(job_id)
+        if entry is None:
+            return None
+        return inject_labels(
+            entry["text"],
+            {"worker": str(entry.get("worker_id")), "job": job_id})
 
     # ------------------------------------------------------------------
     # Reverse proxy

@@ -1,22 +1,41 @@
-"""The fleet manager: a bounded pool of worker subprocesses.
+"""The fleet manager: an async dispatcher over persistent warm workers.
 
-``FleetManager`` drains a :class:`~repro.fleet.queue.JobQueue` through
-at most ``num_workers`` concurrent worker subprocesses (one process per
-job attempt — a crashed simulation must never take a sibling down with
-it, which rules out threads and shared interpreters).  For every worker
-it runs two reader threads (stdout control channel, stderr tail) and a
-scheduler thread that:
+``FleetManager`` drains a :class:`~repro.fleet.queue.JobQueue` through a
+pool of worker subprocesses.  Two dispatch modes share one event loop:
 
-1. reaps exited workers, turning their exit status + control events
-   into queue transitions (``complete`` / ``fail`` with a post-mortem);
-2. claims queued jobs onto free slots and spawns fresh workers;
-3. flips the ``drained`` event once every job is terminal.
+* **warm** (default): ``num_workers`` persistent
+  ``repro.fleet.worker --serve`` processes are spawned once.  Each
+  boots its interpreter, imports and RTM HTTP server a single time,
+  then accepts a *stream* of job assignments over a bidirectional
+  line-framed JSON control channel (commands down stdin, events up
+  stdout), resetting simulation state between jobs instead of
+  re-exec'ing.  This is what makes short-job campaigns scale: the old
+  one-subprocess-per-attempt fleet measured 0.97x at 2 workers because
+  every attempt re-paid interpreter + platform startup and server
+  teardown.
+* **cold** (``warm=False``): the PR-5 behavior — one subprocess per
+  job attempt, maximum isolation, and the measured baseline the warm
+  pool's throughput benchmark compares against.
 
-The restart policy itself lives in :meth:`JobQueue.fail`; the manager
-only reports what it observed.  A worker that died without a result
-event gets a post-mortem assembled from its exit code, last control
-event and stderr tail — the fleet equivalent of the watchdog's
-post-mortem files.
+The scheduler is a single thread driven by a queue of control events
+(pushed by per-worker pipe reader threads), not a poll loop over
+``Popen.poll``: a ``ready`` event dispatches the next queued job in the
+same scheduling turn it arrives, so idle gaps between jobs are bounded
+by pipe latency, not a polling interval.
+
+**Failure discipline.**  A worker that dies mid-job (stdout EOF without
+a result event) gets a post-mortem assembled from its exit code, last
+control events and stderr tail; the job re-enters the queue at the
+front of the line under :meth:`JobQueue.fail`'s retry policy.  Warm
+workers that crash are *recycled* — a replacement process is spawned —
+up to ``max_worker_restarts`` for the pool's lifetime; if the budget is
+spent and no workers remain, the remaining jobs are failed rather than
+left to hang the campaign.
+
+A warm worker's final ``/metrics`` expositions are cached **per job**
+(shipped through the control channel in ``final-metrics`` events): one
+process now serves many jobs, so "the exited worker's last scrape" is
+no longer a meaningful unit — see :meth:`final_metrics`.
 """
 
 from __future__ import annotations
@@ -24,6 +43,8 @@ from __future__ import annotations
 import collections
 import json
 import os
+import queue as queue_module
+import signal
 import subprocess
 import sys
 import threading
@@ -32,8 +53,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from .protocol import FrameDecoder, encode_command
 from .queue import Job, JobQueue
-from .worker import CONTROL_PREFIX
 
 __all__ = ["FleetManager", "WorkerHandle"]
 
@@ -43,42 +64,47 @@ _STOP_GRACE = 5.0
 
 @dataclass
 class WorkerHandle:
-    """One spawned worker subprocess and everything observed about it."""
+    """One worker subprocess and everything observed about it."""
 
     worker_id: str
-    job_id: str
-    attempt: int
     process: subprocess.Popen
     started_wall: float
+    warm: bool
+    job_id: Optional[str] = None      # currently assigned job
+    attempt: int = 0
+    state: str = "booting"  # booting | idle | running | exited
     url: Optional[str] = None
     pid: Optional[int] = None
-    state: str = "spawning"  # spawning | running | exited
+    jobs_done: int = 0
     exit_code: Optional[int] = None
-    result: Optional[Dict[str, Any]] = None
-    events: List[Dict[str, Any]] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None   # last done/failed event
+    last_progress: Optional[Dict[str, Any]] = None
+    events: collections.deque = field(
+        default_factory=lambda: collections.deque(maxlen=50))
     stderr_tail: collections.deque = field(
         default_factory=lambda: collections.deque(maxlen=40))
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
     _threads: List[threading.Thread] = field(default_factory=list)
 
-    @property
-    def ok(self) -> bool:
-        return (self.exit_code == 0 and self.result is not None
-                and bool(self.result.get("ok")))
-
     def post_mortem(self) -> Dict[str, Any]:
-        """What the manager knows about why this worker died."""
+        """What the manager knows about why this worker's job died."""
         report: Dict[str, Any] = {
             "worker_id": self.worker_id,
             "job_id": self.job_id,
             "attempt": self.attempt,
             "exit_code": self.exit_code,
+            "worker_alive": self.state != "exited",
             "stderr_tail": list(self.stderr_tail),
+            "torn_frames": self.decoder.errors,
         }
-        if self.result is not None:
-            report["run_state"] = self.result.get("run_state")
-            report["watchdog"] = self.result.get("watchdog")
-            report["error"] = self.result.get("error")
-            report["fault_stats"] = self.result.get("fault_stats")
+        source = self.result or {}
+        if source.get("job_id") == self.job_id:
+            report["run_state"] = source.get("run_state")
+            report["watchdog"] = source.get("watchdog")
+            report["error"] = source.get("error")
+            report["fault_stats"] = source.get("fault_stats")
+        if self.last_progress is not None:
+            report["last_progress"] = dict(self.last_progress)
         return report
 
     def to_dict(self) -> Dict[str, Any]:
@@ -89,7 +115,10 @@ class WorkerHandle:
             "pid": self.pid,
             "url": self.url,
             "state": self.state,
+            "warm": self.warm,
+            "jobs_done": self.jobs_done,
             "exit_code": self.exit_code,
+            "last_progress": self.last_progress,
             "uptime_seconds": round(
                 time.monotonic() - self.started_wall, 3),
         }
@@ -99,24 +128,35 @@ class FleetManager:
     """Schedules a job queue across a pool of worker subprocesses."""
 
     def __init__(self, queue: JobQueue, num_workers: int = 2,
+                 warm: bool = True,
                  python: Optional[str] = None,
                  worker_args: Optional[List[str]] = None,
                  poll_interval: float = 0.05,
-                 snapshot_dir: Optional[str] = None):
+                 snapshot_dir: Optional[str] = None,
+                 max_worker_restarts: Optional[int] = None):
         if num_workers < 1:
             raise ValueError("need at least one worker slot")
         self.queue = queue
         self.num_workers = num_workers
+        self.warm = warm
         self.python = python or sys.executable
         self.worker_args = list(worker_args or [])
         self.poll_interval = poll_interval
         self.snapshot_dir = snapshot_dir
+        #: Crashed warm workers replaced over the pool's lifetime.
+        self.max_worker_restarts = (num_workers
+                                    if max_worker_restarts is None
+                                    else max_worker_restarts)
         self.drained = threading.Event()
         self._lock = threading.Lock()
         self._active: Dict[str, WorkerHandle] = {}
         self._history: List[WorkerHandle] = []
-        self._final_metrics: Dict[str, str] = {}
+        #: job_id -> {"worker_id", "attempt", "text"}: final expositions
+        #: shipped through the control channel (latest attempt wins).
+        self._final_metrics: Dict[str, Dict[str, Any]] = {}
+        self._events: "queue_module.Queue" = queue_module.Queue()
         self._spawned = 0
+        self._restarts_used = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -127,12 +167,34 @@ class FleetManager:
         if self._thread is not None and self._thread.is_alive():
             return
         self._stop.clear()
+        if self.warm:
+            for _ in range(self.num_workers):
+                self._spawn_warm()
         self._thread = threading.Thread(target=self._loop, daemon=True,
                                         name="rtm-fleet-scheduler")
         self._thread.start()
 
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every warm worker has booted (announced its
+        first ``ready``); True if they all did in time.  Useful to
+        separate pool warm-up from campaign dispatch — e.g. when
+        timing a campaign against a pre-warmed pool."""
+        if not self.warm:
+            return True  # cold workers exist only while running a job
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            with self._lock:
+                handles = list(self._active.values())
+            booted = [h for h in handles if h.url is not None]
+            if len(booted) >= self.num_workers:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.01)
+
     def stop(self) -> None:
-        """Stop scheduling and terminate any workers still running."""
+        """Stop scheduling, shut the pool down, settle the queue."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
@@ -140,8 +202,7 @@ class FleetManager:
         with self._lock:
             active = list(self._active.values())
         for handle in active:
-            if handle.process.poll() is None:
-                handle.process.terminate()
+            self._send_shutdown(handle)
         deadline = time.monotonic() + _STOP_GRACE
         for handle in active:
             remaining = max(0.0, deadline - time.monotonic())
@@ -150,6 +211,11 @@ class FleetManager:
             except subprocess.TimeoutExpired:
                 handle.process.kill()
                 handle.process.wait()
+        # Process whatever the workers flushed on the way out (a job
+        # that completed during shutdown still counts), then fail any
+        # job that never got a result.
+        self._drain_events()
+        for handle in active:
             self._finalize(handle)
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -160,18 +226,140 @@ class FleetManager:
     # Scheduler loop
     # ------------------------------------------------------------------
     def _loop(self) -> None:
-        while not self._stop.wait(self.poll_interval):
-            self._reap()
-            self._fill()
-            if self.queue.done and not self._active:
-                self.drained.set()
+        while not self._stop.is_set():
+            try:
+                item = self._events.get(timeout=self.poll_interval)
+            except queue_module.Empty:
+                item = None
+            if item is not None:
+                self._handle_item(item)
+                # Drain whatever else already arrived: scheduling
+                # decisions should see the freshest picture.
+                while True:
+                    try:
+                        self._handle_item(self._events.get_nowait())
+                    except queue_module.Empty:
+                        break
+            self._dispatch()
+            self._update_drained()
 
-    def _reap(self) -> None:
-        with self._lock:
-            exited = [h for h in self._active.values()
-                      if h.process.poll() is not None]
-        for handle in exited:
-            self._finalize(handle)
+    def _drain_events(self) -> None:
+        while True:
+            try:
+                self._handle_item(self._events.get_nowait())
+            except queue_module.Empty:
+                return
+
+    def _update_drained(self) -> None:
+        counts = self.queue.counts()
+        if counts["total"] > 0 and counts["queued"] == 0 \
+                and counts["running"] == 0:
+            self.drained.set()
+        else:
+            # A pool outlives a campaign: submitting more jobs to the
+            # same queue re-arms `wait()`.
+            self.drained.clear()
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+    def _handle_item(self, item) -> None:
+        kind, handle, payload = item
+        if kind == "event":
+            self._handle_event(handle, payload)
+        elif kind == "eof":
+            self._handle_eof(handle)
+
+    def _handle_event(self, handle: WorkerHandle,
+                      event: Dict[str, Any]) -> None:
+        if handle.state == "exited":
+            return
+        handle.events.append(event)
+        kind = event.get("event")
+        if kind == "ready":
+            handle.url = event.get("url") or handle.url
+            handle.pid = event.get("pid") or handle.pid
+            if handle.job_id is None:
+                handle.state = "idle"
+        elif kind == "started":
+            handle.state = "running"
+        elif kind == "progress":
+            handle.last_progress = {
+                k: event.get(k)
+                for k in ("job_id", "sim_time", "events", "run_state")}
+        elif kind == "final-metrics":
+            job_id = event.get("job_id")
+            text = event.get("metrics_text") or ""
+            if job_id and text:
+                self._final_metrics[job_id] = {
+                    "worker_id": handle.worker_id,
+                    "attempt": event.get("attempt", 0),
+                    "text": text,
+                }
+        elif kind in ("done", "failed"):
+            handle.result = event
+            self._settle_job(handle, event)
+
+    def _settle_job(self, handle: WorkerHandle,
+                    event: Dict[str, Any]) -> None:
+        job_id = event.get("job_id") or handle.job_id
+        if job_id is None:
+            return
+        try:
+            job_state = self.queue.get(job_id).state
+        except KeyError:
+            return  # a job this queue never issued (stray event)
+        if job_state != "running":
+            return  # already settled (e.g. failed at eof, event late)
+        if event.get("event") == "done" and event.get("ok"):
+            summary = {k: event.get(k)
+                       for k in ("run_state", "sim_time", "events",
+                                 "fault_stats", "trace")}
+            summary["worker_id"] = handle.worker_id
+            summary["attempt"] = event.get("attempt", handle.attempt)
+            self.queue.complete(job_id, summary)
+            handle.jobs_done += 1
+        else:
+            state = event.get("run_state", "crashed")
+            error = event.get("error") or f"run ended {state}"
+            self.queue.fail(
+                job_id,
+                f"worker {handle.worker_id} reported {state}: {error}",
+                handle.post_mortem())
+        if handle.job_id == job_id:
+            handle.job_id = None
+            if handle.state != "exited":
+                handle.state = "idle" if handle.warm else handle.state
+
+    def _handle_eof(self, handle: WorkerHandle) -> None:
+        """A worker's stdout closed: the process is dead or dying."""
+        self._finalize(handle)
+        if not self.warm or self._stop.is_set():
+            return
+        # Recycle the slot if the pool still has work to do and the
+        # restart budget allows.
+        counts = self.queue.counts()
+        work_left = counts["queued"] > 0 or counts["running"] > 0
+        if work_left and self._restarts_used < self.max_worker_restarts:
+            self._restarts_used += 1
+            self._spawn_warm()
+        elif work_left and not self._active:
+            # Budget spent, pool empty: fail what remains rather than
+            # hang the campaign.
+            self._fail_pending("worker pool exhausted "
+                               f"(restart budget {self.max_worker_restarts} "
+                               "spent)")
+
+    def _fail_pending(self, reason: str) -> None:
+        while True:
+            job = self.queue.claim("none")
+            if job is None:
+                return
+            self.queue.fail(job.spec.job_id, reason, None)
+            if self.queue.get(job.spec.job_id).state == "queued":
+                # The retry policy requeued it, but there is nobody
+                # left to run it: spend the budget until terminal.
+                continue
 
     def _finalize(self, handle: WorkerHandle) -> None:
         with self._lock:
@@ -179,45 +367,80 @@ class FleetManager:
                 return  # already finalized (stop() raced the reaper)
             del self._active[handle.worker_id]
             self._history.append(handle)
+        try:
+            handle.process.wait(timeout=_STOP_GRACE)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            handle.process.kill()
+            handle.process.wait()
         for thread in handle._threads:
-            thread.join(timeout=2.0)
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
         handle.exit_code = handle.process.returncode
         handle.state = "exited"
-        if handle.result is not None:
-            text = handle.result.pop("metrics_text", "")
-            if text:
-                self._final_metrics[handle.worker_id] = text
-        if handle.ok:
-            summary = {k: handle.result.get(k)
-                       for k in ("run_state", "sim_time", "events",
-                                 "fault_stats")}
-            summary["worker_id"] = handle.worker_id
-            self.queue.complete(handle.job_id, summary)
-        else:
-            state = (handle.result or {}).get("run_state", "crashed")
-            self.queue.fail(
-                handle.job_id,
-                f"worker {handle.worker_id} exited "
-                f"{handle.exit_code} ({state})",
-                handle.post_mortem())
+        if handle.job_id is not None:
+            # Died without a result event for its assigned job.
+            job_id = handle.job_id
+            try:
+                running = self.queue.get(job_id).state == "running"
+            except KeyError:
+                running = False
+            if running:
+                self.queue.fail(
+                    job_id,
+                    f"worker {handle.worker_id} exited "
+                    f"{handle.exit_code} mid-job",
+                    handle.post_mortem())
+            handle.job_id = None
 
-    def _fill(self) -> None:
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self.warm:
+            self._dispatch_warm()
+        else:
+            self._dispatch_cold()
+
+    def _dispatch_warm(self) -> None:
+        with self._lock:
+            idle = [h for h in self._active.values()
+                    if h.state == "idle"]
+        for handle in idle:
+            job = self.queue.claim(handle.worker_id)
+            if job is None:
+                return
+            handle.job_id = job.spec.job_id
+            handle.attempt = job.attempt
+            handle.state = "running"  # optimistic; started confirms
+            command = encode_command({
+                "cmd": "run",
+                "spec": job.spec.to_dict(),
+                "attempt": job.attempt,
+            })
+            try:
+                handle.process.stdin.write(command)
+                handle.process.stdin.flush()
+            except (BrokenPipeError, OSError, ValueError):
+                # The worker died between ready and now; its eof event
+                # is in flight and will requeue this job.
+                pass
+
+    def _dispatch_cold(self) -> None:
         while True:
             with self._lock:
                 if len(self._active) >= self.num_workers:
                     return
-                worker_id = f"w{self._spawned + 1}"
+            if self.queue.pending_count == 0:
+                return
+            worker_id = self._next_worker_id()
             job = self.queue.claim(worker_id)
             if job is None:
                 return
-            with self._lock:
-                self._spawned += 1
-            self._spawn(job, worker_id)
+            self._spawn_cold(job, worker_id)
 
     # ------------------------------------------------------------------
     # Spawning and the control channel
     # ------------------------------------------------------------------
-
     def _worker_env(self) -> Dict[str, str]:
         """The child must be able to ``import repro`` even when the
         parent runs from a source checkout that is not installed."""
@@ -229,66 +452,115 @@ class FleetManager:
                                  if existing else package_root)
         return env
 
-    def _spawn(self, job: Job, worker_id: str) -> None:
+    def _next_worker_id(self) -> str:
+        with self._lock:
+            self._spawned += 1
+            return f"w{self._spawned}"
+
+    def _spawn_warm(self) -> None:
+        worker_id = self._next_worker_id()
+        argv = [self.python, "-m", "repro.fleet.worker", "--serve",
+                "--worker-id", worker_id]
+        if self.snapshot_dir is not None:
+            argv += ["--snapshot-dir", self.snapshot_dir]
+        argv += self.worker_args
+        self._launch(argv, worker_id, warm=True)
+
+    def _spawn_cold(self, job: Job, worker_id: str) -> None:
         argv = [self.python, "-m", "repro.fleet.worker",
                 "--spec", json.dumps(job.spec.to_dict()),
                 "--attempt", str(job.attempt)]
         if self.snapshot_dir is not None:
             argv += ["--snapshot-dir", self.snapshot_dir]
         argv += self.worker_args
+        handle = self._launch(argv, worker_id, warm=False)
+        handle.job_id = job.spec.job_id
+        handle.attempt = job.attempt
+        handle.state = "running"
+
+    def _launch(self, argv: List[str], worker_id: str,
+                warm: bool) -> WorkerHandle:
         process = subprocess.Popen(
-            argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
-            text=True, env=self._worker_env())
-        handle = WorkerHandle(worker_id=worker_id, job_id=job.spec.job_id,
-                              attempt=job.attempt, process=process,
-                              started_wall=time.monotonic())
-        for stream, reader in ((process.stdout, self._read_control),
-                               (process.stderr, self._read_stderr)):
-            thread = threading.Thread(target=reader,
-                                      args=(handle, stream),
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, env=self._worker_env())
+        handle = WorkerHandle(worker_id=worker_id, process=process,
+                              started_wall=time.monotonic(), warm=warm)
+        for target in (self._read_control, self._read_stderr):
+            thread = threading.Thread(target=target, args=(handle,),
                                       daemon=True,
                                       name=f"rtm-fleet-{worker_id}-io")
             handle._threads.append(thread)
             thread.start()
         with self._lock:
             self._active[worker_id] = handle
+        return handle
 
-    def _read_control(self, handle: WorkerHandle, stream) -> None:
-        for line in stream:
-            if not line.startswith(CONTROL_PREFIX):
-                continue  # ordinary worker logging
+    def _read_control(self, handle: WorkerHandle) -> None:
+        """Pump raw stdout chunks through the damage-tolerant frame
+        decoder into the scheduler's event queue."""
+        stream = handle.process.stdout
+        decoder = handle.decoder
+        while True:
+            chunk = stream.read1(65536)
+            if not chunk:
+                break
+            for event in decoder.feed(chunk):
+                self._events.put(("event", handle, event))
+        decoder.flush()
+        stream.close()
+        self._events.put(("eof", handle, None))
+
+    def _read_stderr(self, handle: WorkerHandle) -> None:
+        for raw in handle.process.stderr:
+            handle.stderr_tail.append(
+                raw.decode("utf-8", "replace").rstrip("\n"))
+        handle.process.stderr.close()
+
+    def _send_shutdown(self, handle: WorkerHandle) -> None:
+        """Ask a worker to exit: shutdown command + closed stdin for an
+        idle worker, SIGTERM to abort a running simulation."""
+        if handle.process.poll() is not None:
+            return
+        try:
+            handle.process.stdin.write(
+                encode_command({"cmd": "shutdown"}))
+            handle.process.stdin.flush()
+            handle.process.stdin.close()
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        if handle.state == "running" or not handle.warm:
             try:
-                event = json.loads(line[len(CONTROL_PREFIX):])
-            except json.JSONDecodeError:
-                continue  # a torn line (worker died mid-write)
-            handle.events.append(event)
-            kind = event.get("event")
-            if kind == "register":
-                handle.url = event.get("url")
-                handle.pid = event.get("pid")
-                handle.state = "running"
-            elif kind == "result":
-                handle.result = event
-        stream.close()
-
-    def _read_stderr(self, handle: WorkerHandle, stream) -> None:
-        for line in stream:
-            handle.stderr_tail.append(line.rstrip("\n"))
-        stream.close()
+                handle.process.send_signal(signal.SIGTERM)
+            except (ProcessLookupError, OSError):
+                pass
 
     # ------------------------------------------------------------------
     # Views (consumed by the gateway and the CLI)
     # ------------------------------------------------------------------
     def live_workers(self) -> Dict[str, str]:
-        """worker_id -> base URL for every registered, running worker."""
+        """worker_id -> base URL for every booted, live worker."""
         with self._lock:
             return {h.worker_id: h.url for h in self._active.values()
                     if h.url is not None}
 
-    def final_metrics(self) -> Dict[str, str]:
-        """worker_id -> last Prometheus exposition of exited workers."""
+    def scrape_targets(self) -> List[Dict[str, str]]:
+        """Live workers currently running a job, with the job identity
+        a federated scrape must label their series with."""
         with self._lock:
-            return dict(self._final_metrics)
+            return [{"worker_id": h.worker_id, "job_id": h.job_id,
+                     "url": h.url}
+                    for h in self._active.values()
+                    if h.url is not None and h.job_id is not None
+                    and h.state == "running"]
+
+    def final_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """job_id -> {worker_id, attempt, text}: the final Prometheus
+        exposition of every job that shipped one (latest attempt wins),
+        served from the control-channel cache long after the worker
+        moved on — or died."""
+        with self._lock:
+            return {job_id: dict(entry)
+                    for job_id, entry in self._final_metrics.items()}
 
     def status(self) -> Dict[str, Any]:
         with self._lock:
@@ -296,7 +568,10 @@ class FleetManager:
                        + [h.to_dict() for h in self._history])
         return {
             "num_workers": self.num_workers,
+            "warm": self.warm,
             "drained": self.drained.is_set(),
+            "worker_restarts": self._restarts_used,
+            "worker_restart_budget": self.max_worker_restarts,
             "summary": self.queue.counts(),
             "workers": workers,
             "jobs": self.queue.to_dict(),

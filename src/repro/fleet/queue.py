@@ -15,7 +15,8 @@ from __future__ import annotations
 import dataclasses
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from functools import lru_cache
+from typing import Any, Dict, FrozenSet, List, Optional
 
 from ..workloads import StoreStorm, Workload, suite_small
 
@@ -29,6 +30,23 @@ def workload_catalog() -> Dict[str, Workload]:
     catalog = suite_small()
     catalog["storestorm"] = StoreStorm()
     return catalog
+
+
+@lru_cache(maxsize=1)
+def _catalog_schema() -> Dict[str, FrozenSet[str]]:
+    """Workload name → its parameter names, computed once per process.
+
+    Validation only needs the catalog's *shape*; enqueueing an N-job
+    campaign used to rebuild every workload instance N times just to
+    ask for this.  The cache holds names and field sets — immutable
+    facts of the installed catalog — never the (mutable) workload
+    instances themselves, so :meth:`JobSpec.build_workload` still
+    constructs a fresh workload per run and jobs cannot share state
+    through the catalog.
+    """
+    return {name: frozenset(f.name
+                            for f in dataclasses.fields(workload))
+            for name, workload in workload_catalog().items()}
 
 
 @dataclass
@@ -50,24 +68,28 @@ class JobSpec:
     fault: Optional[Dict[str, Any]] = None
     fault_attempts: int = 1
     max_retries: int = 1
+    #: Arm a ring-buffer tracer for this job's run; the worker reports
+    #: the trace volume in its result event.
+    trace: bool = False
 
     def validate(self) -> None:
         """Reject jobs that could never run before any worker is spent
-        on them (the ``repro workloads --json`` catalog contract)."""
+        on them (the ``repro workloads --json`` catalog contract).
+        Validation runs against the cached catalog schema, so an
+        N-job campaign pays the catalog build once, not N times."""
         if not self.job_id:
             raise ValueError("job_id must be non-empty")
-        catalog = workload_catalog()
-        if self.workload not in catalog:
+        schema = _catalog_schema()
+        if self.workload not in schema:
             raise ValueError(
                 f"unknown workload {self.workload!r}; expected one of "
-                f"{sorted(catalog)}")
+                f"{sorted(schema)}")
         if self.chiplets < 1:
             raise ValueError("chiplets must be >= 1")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.params:
-            known = {f.name for f in
-                     dataclasses.fields(catalog[self.workload])}
+            known = schema[self.workload]
             unknown = set(self.params) - known
             if unknown:
                 raise ValueError(

@@ -1,34 +1,55 @@
-"""The fleet worker: one monitored simulation in one subprocess.
+"""The fleet worker: a persistent process running monitored simulations.
 
-Spawned by the :class:`~repro.fleet.manager.FleetManager` as::
+Spawned by the :class:`~repro.fleet.manager.FleetManager` in one of two
+modes:
 
-    python -m repro.fleet.worker --spec '<JobSpec JSON>' --attempt 0
+* **warm** (the default fleet mode)::
 
-The worker builds the platform the job describes, attaches a
-:class:`~repro.core.Monitor` with its own :class:`~repro.core.RTMServer`
-on an ephemeral port, arms the job's fault (first ``fault_attempts``
-attempts only) and a watchdog, then runs the simulation to completion.
+      python -m repro.fleet.worker --serve --worker-id w1
 
-**Control channel.**  The worker talks to its manager over stdout with
-line-framed JSON, each line prefixed ``@fleet `` (everything else on
-stdout is ordinary logging and ignored by the manager):
+  The process boots its platform machinery once — interpreter, imports,
+  the RTM HTTP server — then reads line-framed JSON commands from stdin
+  (``run`` / ``reset`` / ``shutdown``, see :mod:`repro.fleet.protocol`)
+  and executes a *stream* of jobs, resetting simulation state between
+  jobs instead of re-exec'ing.  The reset rebuilds the (cheap, ~1 ms)
+  platform object graph from scratch for every job — the only reset
+  that provably cannot bleed engine time, cache contents, metric
+  counters or trace records from one job into the next — while the
+  expensive process-level state (interpreter, imported modules, the
+  HTTP server and its port) stays warm.  One worker's RTM server thus
+  spans many jobs: the URL announced in ``ready`` is stable for the
+  process lifetime and is rebound to each job's fresh monitor.
 
-* ``{"event": "register", "job_id", "attempt", "pid", "url", "port"}``
-  — sent as soon as the HTTP server is up, so the gateway can start
-  reverse-proxying this worker immediately;
-* ``{"event": "result", "ok", "run_state", "sim_time", "events",
-  "watchdog", "fault_stats", "metrics_text"}`` — sent once, right
-  before exit.  ``metrics_text`` is the worker's final Prometheus
-  exposition: the process is about to die, and shipping the last scrape
-  through the control channel is what lets the gateway's federated
-  ``/metrics`` keep serving completed jobs' series.
+* **one-shot** (the legacy cold mode, kept for per-attempt isolation
+  and as the throughput benchmark's baseline)::
 
-Exit status: 0 for a completed workload, 1 for hang/abort/crash — the
-manager maps non-zero onto the queue's restart policy.
+      python -m repro.fleet.worker --spec '<JobSpec JSON>' --attempt 0
 
-SIGTERM/SIGINT stop the engine and flush the result event before
-exiting, so ``FleetManager.stop()`` never leaves half-written control
-traffic behind.
+**Event channel.**  The worker talks to its manager over stdout with
+``@fleet``-prefixed JSON lines (:func:`repro.fleet.protocol.emit`):
+
+* ``ready`` — ``{worker_id, pid, url, port, jobs_done}``: the worker
+  is idle and will accept a ``run`` command (sent at boot and again
+  after every job).  In one-shot mode it doubles as registration.
+* ``started`` — ``{job_id, attempt}``: a run command was picked up.
+* ``progress`` — ``{job_id, attempt, sim_time, events, run_state}``:
+  periodic heartbeat while a job runs (drives fleet status views and
+  lets the manager tell "slow" from "dead").
+* ``final-metrics`` — ``{job_id, attempt, metrics_text}``: the job's
+  final Prometheus exposition.  Shipped *before* the result event so
+  the gateway's per-job cache is complete by the time the job is
+  marked terminal — a scrape racing the completion can never observe
+  a completed job with no series.
+* ``done`` / ``failed`` — the result: ``{job_id, attempt, ok,
+  run_state, sim_time, events, watchdog, fault_stats, trace}``.
+
+Exit status (one-shot): 0 completed, 1 hang/abort/crash, 2 rejected
+spec.  Warm workers exit 0 on ``shutdown`` or stdin EOF (an orphaned
+worker whose manager died must not linger).
+
+SIGTERM/SIGINT abort the running simulation so the result event is
+flushed before exit — ``FleetManager.stop()`` never leaves half-written
+control traffic behind.
 """
 
 from __future__ import annotations
@@ -38,24 +59,47 @@ import json
 import os
 import signal
 import sys
-from typing import Any, Dict, List, Optional
+import threading
+from typing import List, Optional
 
 from ..core import Monitor
+from ..core.server import RTMServer
 from ..gpu import GPUPlatform, GPUPlatformConfig
 from ..metrics import expose
+from .protocol import CONTROL_PREFIX, decode_command, emit
 from .queue import JobSpec
 
-__all__ = ["run_worker", "main", "CONTROL_PREFIX"]
-
-#: Marker distinguishing control-channel lines from ordinary stdout.
-CONTROL_PREFIX = "@fleet "
+__all__ = ["run_worker", "serve", "main", "CONTROL_PREFIX",
+           "WorkerSettings"]
 
 
-def emit(payload: Dict[str, Any]) -> None:
-    """Write one control-channel line (flushed: the manager reads the
-    pipe live, and a buffered register event would stall the fleet)."""
-    sys.stdout.write(CONTROL_PREFIX + json.dumps(payload) + "\n")
-    sys.stdout.flush()
+class WorkerSettings:
+    """Supervision tuning shared by both worker modes.
+
+    The defaults tune for fleet duty: a worker that stalls is a wasted
+    slot, so hangs are confirmed fast (0.75 s without progress) and
+    aborted after one recovery attempt rather than debugged
+    interactively.
+    """
+
+    def __init__(self, stall_threshold: float = 0.75,
+                 watchdog_interval: float = 0.1,
+                 hang_wait: float = 60.0,
+                 progress_interval: float = 0.2,
+                 snapshot_dir: Optional[str] = None):
+        self.stall_threshold = stall_threshold
+        self.watchdog_interval = watchdog_interval
+        self.hang_wait = hang_wait
+        self.progress_interval = progress_interval
+        self.snapshot_dir = snapshot_dir
+
+    @classmethod
+    def from_args(cls, args: argparse.Namespace) -> "WorkerSettings":
+        return cls(stall_threshold=args.stall_threshold,
+                   watchdog_interval=args.watchdog_interval,
+                   hang_wait=args.hang_wait,
+                   progress_interval=args.progress_interval,
+                   snapshot_dir=args.snapshot_dir)
 
 
 def _arm_fault(monitor: Monitor, spec: JobSpec) -> None:
@@ -67,67 +111,115 @@ def _arm_fault(monitor: Monitor, spec: JobSpec) -> None:
     injector.inject(FaultSpec(kind, target, **fault))
 
 
-def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
-               stall_threshold: float = 0.75,
-               watchdog_interval: float = 0.1,
-               hang_wait: float = 60.0,
-               snapshot_dir: Optional[str] = None) -> int:
-    """Run one job to completion in this process; returns the exit code.
+class _ProgressEmitter:
+    """Background heartbeat while a job runs."""
 
-    The defaults tune supervision for fleet duty: a worker that stalls
-    is a wasted slot, so hangs are confirmed fast (0.75 s without
-    progress) and aborted after one recovery attempt rather than
-    debugged interactively.
+    def __init__(self, platform: GPUPlatform, job_id: str, attempt: int,
+                 interval: float):
+        self._platform = platform
+        self._job_id = job_id
+        self._attempt = attempt
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_ProgressEmitter":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="fleet-progress")
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            simulation = self._platform.simulation
+            emit({"event": "progress", "job_id": self._job_id,
+                  "attempt": self._attempt,
+                  "sim_time": simulation.now,
+                  "events": self._platform.engine.event_count,
+                  "run_state": simulation.run_state})
+
+
+def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
+                 settings: WorkerSettings,
+                 abort: Optional["_AbortCurrent"] = None) -> bool:
+    """Run one job against *server*, emitting the full event sequence
+    (``started`` … ``final-metrics`` … ``done``/``failed``).  Returns
+    the job's success.
+
+    Everything simulation-scoped — platform, monitor, registry,
+    watchdog, tracer — is built fresh here and torn down before
+    returning; only the process and *server* survive into the next
+    call.  That construction-per-job *is* the warm worker's reset.
     """
-    workload = spec.build_workload()
-    config = GPUPlatformConfig.small(num_chiplets=spec.chiplets,
-                                     l2_write_buffer_bug=spec.buggy_l2)
-    platform = GPUPlatform(config)
-    workload.enqueue(platform.driver)
+    emit({"event": "started", "job_id": spec.job_id,
+          "attempt": attempt})
+    monitor: Optional[Monitor] = None
+    try:
+        workload = spec.build_workload()
+        config = GPUPlatformConfig.small(
+            num_chiplets=spec.chiplets,
+            l2_write_buffer_bug=spec.buggy_l2)
+        platform = GPUPlatform(config)
+        workload.enqueue(platform.driver)
+        if abort is not None:
+            # Expose the in-flight platform to the signal handler for
+            # the duration of this job only.
+            abort.platform = platform
 
-    monitor = Monitor(platform.simulation)
-    monitor.attach_driver(platform.driver)
-    if monitor.hang is not None:
-        monitor.hang.stall_threshold = stall_threshold
-    monitor.start_sampler()
-    url = monitor.start_server(port=port)
-    monitor.enable_watchdog(check_interval=watchdog_interval,
-                            max_tick_retries=1,
-                            retry_wait=watchdog_interval,
-                            snapshot_dir=snapshot_dir)
-    if spec.fault is not None and attempt < spec.fault_attempts:
-        _arm_fault(monitor, spec)
-    # Instrument from t=0 so the federated scrape carries the whole run,
-    # not just whatever happened after the first gateway scrape.
-    monitor.ensure_sim_metrics().start()
-
-    def _graceful(signum, frame):  # noqa: ARG001 (signal signature)
-        platform.simulation.abort()
-
-    signal.signal(signal.SIGTERM, _graceful)
-    signal.signal(signal.SIGINT, _graceful)
-
-    emit({"event": "register", "job_id": spec.job_id,
-          "attempt": attempt, "pid": os.getpid(), "url": url,
-          "port": int(url.rsplit(":", 1)[1])})
+        monitor = Monitor(platform.simulation)
+        monitor.attach_driver(platform.driver)
+        if monitor.hang is not None:
+            monitor.hang.stall_threshold = settings.stall_threshold
+        monitor.start_sampler()
+        # The process-lifetime server now fronts this job's monitor:
+        # the dashboard URL spans jobs, the simulation behind it is new.
+        server.rebind(monitor)
+        monitor.enable_watchdog(
+            check_interval=settings.watchdog_interval,
+            max_tick_retries=1,
+            retry_wait=settings.watchdog_interval,
+            snapshot_dir=settings.snapshot_dir)
+        if spec.fault is not None and attempt < spec.fault_attempts:
+            _arm_fault(monitor, spec)
+        if spec.trace:
+            monitor.ensure_tracer(backend="ring").start()
+        # Instrument from t=0 so the federated scrape carries the whole
+        # run, not just whatever happened after the first scrape.
+        monitor.ensure_sim_metrics().start()
+    except Exception as exc:  # bad build: report, stay alive
+        emit({"event": "failed", "job_id": spec.job_id,
+              "attempt": attempt, "ok": False, "run_state": "rejected",
+              "error": f"{type(exc).__name__}: {exc}",
+              "watchdog": None, "fault_stats": {}, "trace": None})
+        if monitor is not None:
+            _teardown(monitor)
+        return False
 
     try:
-        ok = platform.run(hang_wait=hang_wait)
+        with _ProgressEmitter(platform, spec.job_id, attempt,
+                              settings.progress_interval):
+            ok = platform.run(hang_wait=settings.hang_wait)
     except Exception as exc:  # a crash is a result too
-        emit({"event": "result", "job_id": spec.job_id,
-              "attempt": attempt, "ok": False,
-              "run_state": "crashed",
+        emit({"event": "failed", "job_id": spec.job_id,
+              "attempt": attempt, "ok": False, "run_state": "crashed",
               "error": f"{type(exc).__name__}: {exc}",
-              "watchdog": None, "fault_stats": {},
-              "metrics_text": ""})
-        monitor.stop_server()
-        return 1
+              "watchdog": None, "fault_stats": {}, "trace": None})
+        _teardown(monitor)
+        return False
+    finally:
+        if abort is not None:
+            abort.platform = None
 
     watchdog_report = (monitor.watchdog.report
                        if monitor.watchdog is not None else None)
     injector = monitor.injector
+    tracer = monitor.tracer
     result = {
-        "event": "result",
         "job_id": spec.job_id,
         "attempt": attempt,
         "ok": ok,
@@ -136,44 +228,181 @@ def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
         "events": platform.engine.event_count,
         "watchdog": watchdog_report,
         "fault_stats": injector.stats() if injector is not None else {},
-        "metrics_text": expose(monitor.metrics),
+        "trace": tracer.status() if tracer is not None else None,
     }
-    emit(result)
-    monitor.stop_server()
+    # Final exposition first (see module docstring: the gateway's
+    # per-job cache must be complete before the job goes terminal).
+    emit({"event": "final-metrics", "job_id": spec.job_id,
+          "attempt": attempt, "metrics_text": expose(monitor.metrics)})
+    emit({"event": ("done" if ok else "failed"), **result})
+    _teardown(monitor)
+    return ok
+
+
+def _teardown(monitor: Monitor) -> None:
+    """Stop everything simulation-scoped — but *not* the HTTP server,
+    which belongs to the process, not the job.  (This is the cheap
+    subset of ``Monitor.stop_server``.)"""
+    monitor.stop_sampler()
+    if monitor.watchdog is not None:
+        monitor.watchdog.stop()
+    if monitor.tracer is not None:
+        monitor.tracer.stop()
+    if monitor.sim_metrics is not None:
+        monitor.sim_metrics.stop()
+    if monitor.profiler.running:
+        monitor.profiler.stop()
+
+
+class _AbortCurrent:
+    """SIGTERM/SIGINT → abort whatever simulation is running now.
+
+    The warm worker swaps simulations per job, so the handler chases a
+    mutable slot rather than closing over one platform.
+    """
+
+    def __init__(self) -> None:
+        self.platform: Optional[GPUPlatform] = None
+        self.requested = False
+
+    def install(self) -> None:
+        signal.signal(signal.SIGTERM, self._handle)
+        signal.signal(signal.SIGINT, self._handle)
+
+    def _handle(self, signum, frame):  # noqa: ARG002 (signal signature)
+        self.requested = True
+        if self.platform is not None:
+            self.platform.simulation.abort()
+
+
+def serve(worker_id: str, settings: WorkerSettings,
+          port: int = 0) -> int:
+    """Warm mode: boot once, run jobs from stdin until shutdown/EOF."""
+    # Boot the process-lifetime server against an idle placeholder
+    # monitor; each job rebinds it.  Booting the server *before*
+    # announcing ready is what lets the gateway proxy this worker the
+    # moment its first job is assigned.
+    idle_monitor = Monitor()
+    server = RTMServer(idle_monitor, port=port)
+    server.start()
+    abort = _AbortCurrent()
+    abort.install()
+    jobs_done = 0
+
+    def ready() -> None:
+        emit({"event": "ready", "worker_id": worker_id,
+              "pid": os.getpid(), "url": server.url,
+              "port": server.port, "jobs_done": jobs_done})
+
+    ready()
+    try:
+        for line in sys.stdin:
+            command = decode_command(line)
+            if command is None:
+                continue
+            cmd = command.get("cmd")
+            if cmd == "shutdown" or abort.requested:
+                break
+            if cmd == "reset":
+                # Drop the last job's monitor early (normally the next
+                # run replaces it; reset lets a manager reclaim memory
+                # on a long-idle worker).
+                server.rebind(idle_monitor)
+                ready()
+                continue
+            if cmd != "run":
+                emit({"event": "failed", "job_id": None,
+                      "attempt": command.get("attempt", 0), "ok": False,
+                      "run_state": "rejected",
+                      "error": f"unknown command {cmd!r}",
+                      "watchdog": None, "fault_stats": {},
+                      "trace": None})
+                ready()  # still idle, still serving
+                continue
+            attempt = int(command.get("attempt", 0))
+            try:
+                spec = JobSpec.from_dict(command["spec"])
+                spec.validate()
+            except (KeyError, ValueError, TypeError) as exc:
+                emit({"event": "failed",
+                      "job_id": (command.get("spec") or {}).get("job_id"),
+                      "attempt": attempt, "ok": False,
+                      "run_state": "rejected",
+                      "error": f"bad spec: {exc}",
+                      "watchdog": None, "fault_stats": {},
+                      "trace": None})
+                ready()
+                continue
+            ok = _execute_job(spec, attempt, server, settings,
+                              abort=abort)
+            if ok:
+                jobs_done += 1
+            if abort.requested:
+                break
+            ready()
+    finally:
+        server.stop()
+    return 0
+
+
+def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
+               settings: Optional[WorkerSettings] = None) -> int:
+    """One-shot mode: run a single job to completion in this process;
+    returns the exit code.  (The cold fleet's unit of dispatch, and the
+    warm-vs-cold benchmark's baseline.)"""
+    settings = settings or WorkerSettings()
+    placeholder = Monitor()
+    server = RTMServer(placeholder, port=port)
+    server.start()
+    abort = _AbortCurrent()
+    abort.install()
+    emit({"event": "ready", "worker_id": None, "pid": os.getpid(),
+          "url": server.url, "port": server.port, "jobs_done": 0})
+    try:
+        ok = _execute_job(spec, attempt, server, settings, abort=abort)
+    finally:
+        server.stop()
     return 0 if ok else 1
 
 
 def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="repro.fleet.worker",
-        description="one fleet-managed monitored simulation")
-    parser.add_argument("--spec", required=True,
-                        help="JobSpec as a JSON object")
+        description="fleet-managed monitored simulation worker")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--spec",
+                      help="one-shot mode: JobSpec as a JSON object")
+    mode.add_argument("--serve", action="store_true",
+                      help="warm mode: accept a stream of jobs on stdin")
+    parser.add_argument("--worker-id", default="w?",
+                        help="identity echoed in ready events (warm)")
     parser.add_argument("--attempt", type=int, default=0)
     parser.add_argument("--port", type=int, default=0,
                         help="RTM server port (default: ephemeral)")
     parser.add_argument("--stall-threshold", type=float, default=0.75)
     parser.add_argument("--watchdog-interval", type=float, default=0.1)
     parser.add_argument("--hang-wait", type=float, default=60.0)
+    parser.add_argument("--progress-interval", type=float, default=0.2)
     parser.add_argument("--snapshot-dir", default=None)
     return parser.parse_args(argv)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parse_args(argv)
+    settings = WorkerSettings.from_args(args)
+    if args.serve:
+        return serve(args.worker_id, settings, port=args.port)
     try:
         spec = JobSpec.from_dict(json.loads(args.spec))
         spec.validate()
     except (ValueError, TypeError, json.JSONDecodeError) as exc:
-        emit({"event": "result", "ok": False, "run_state": "rejected",
-              "error": f"bad spec: {exc}", "job_id": None,
-              "metrics_text": ""})
+        emit({"event": "failed", "job_id": None, "attempt": args.attempt,
+              "ok": False, "run_state": "rejected",
+              "error": f"bad spec: {exc}", "watchdog": None,
+              "fault_stats": {}, "trace": None})
         return 2
     return run_worker(spec, attempt=args.attempt, port=args.port,
-                      stall_threshold=args.stall_threshold,
-                      watchdog_interval=args.watchdog_interval,
-                      hang_wait=args.hang_wait,
-                      snapshot_dir=args.snapshot_dir)
+                      settings=settings)
 
 
 if __name__ == "__main__":  # pragma: no cover - subprocess entry

@@ -14,7 +14,7 @@ Three front doors, all served by :class:`repro.core.RTMServer`:
 """
 
 from .exposition import CONTENT_TYPE, expose, format_labels
-from .federation import federate, inject_label
+from .federation import federate, inject_label, inject_labels
 from .instrument import OCCUPANCY_BUCKETS, PASS_BUCKETS, SimMetrics
 from .registry import (
     Counter,
@@ -42,6 +42,7 @@ __all__ = [
     "federate",
     "format_labels",
     "inject_label",
+    "inject_labels",
     "rate",
     "snapshot_delta",
 ]

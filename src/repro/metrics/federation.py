@@ -4,8 +4,11 @@ The fleet gateway scrapes every worker's ``/metrics`` and has to merge N
 expositions that all use the *same* family names (every worker runs the
 same instrumentation).  Two things make the merge non-trivial:
 
-* every sample needs a ``worker="wN"`` label so the series stay
-  distinguishable downstream (:func:`inject_label`);
+* every sample needs identity labels so the series stay distinguishable
+  downstream — ``worker="wN"`` alone under the cold fleet, and
+  ``worker="wN",job="fir-c1"`` under the warm fleet, where one
+  long-lived worker produces expositions for *many* jobs
+  (:func:`inject_label` / :func:`inject_labels`);
 * ``# HELP``/``# TYPE`` headers must appear exactly once per family and
   all samples of a family must stay contiguous, as the text format
   requires (:func:`federate` re-groups lines by family).
@@ -18,9 +21,9 @@ federates just fine.
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple, Union
 
-__all__ = ["inject_label", "federate"]
+__all__ = ["inject_label", "inject_labels", "federate"]
 
 #: ``metric_name{labels} value [timestamp]`` — group 1 the name, group 2
 #: the (optional) brace block, group 3 the rest of the line.
@@ -36,32 +39,42 @@ def _escape(value: str) -> str:
 
 
 def inject_label(text: str, label: str, value: str) -> str:
-    """Add ``label="value"`` to every sample line of an exposition.
+    """Add ``label="value"`` to every sample line of an exposition
+    (single-label convenience over :func:`inject_labels`)."""
+    return inject_labels(text, {label: value})
+
+
+def inject_labels(text: str, labels: Dict[str, str]) -> str:
+    """Add every ``label="value"`` pair to every sample line.
 
     Comment and blank lines pass through untouched; samples that already
-    carry labels get the new pair prepended (``{worker="w1",le="0.5"}``),
-    bare samples grow a brace block.  A sample that already has *label*
-    keeps its existing value — the worker's own claim wins over the
-    federator's relabelling only if the federator chooses not to guard;
-    here the injected pair simply is not added twice.
+    carry labels get the new pairs prepended
+    (``{worker="w1",job="fir-c1",le="0.5"}``), bare samples grow a brace
+    block.  A sample that already has one of the labels keeps its
+    existing value for that label — the injected pair simply is not
+    added twice — while the remaining pairs are still injected.
     """
     out: List[str] = []
-    pair = f'{label}="{_escape(value)}"'
-    prefix = f'{label}="'
+    pairs = [(f'{label}="{_escape(value)}"', f'{label}="')
+             for label, value in labels.items()]
     for line in text.splitlines():
         match = _SAMPLE_RE.match(line)
         if match is None or line.startswith("#"):
             out.append(line)
             continue
         name, braces, rest = match.groups()
-        if braces:
-            inner = braces[1:-1]
-            if inner.startswith(prefix) or f",{prefix}" in f",{inner}":
-                out.append(line)
-                continue
-            out.append(f"{name}{{{pair},{inner}}}{rest}")
+        inner = braces[1:-1] if braces else ""
+        missing = [pair for pair, prefix in pairs
+                   if not (inner.startswith(prefix)
+                           or f",{prefix}" in f",{inner}")]
+        if not missing:
+            out.append(line)
+            continue
+        injected = ",".join(missing)
+        if inner:
+            out.append(f"{name}{{{injected},{inner}}}{rest}")
         else:
-            out.append(f"{name}{{{pair}}}{rest}")
+            out.append(f"{name}{{{injected}}}{rest}")
     return "\n".join(out) + ("\n" if text.endswith("\n") else "")
 
 
@@ -76,16 +89,20 @@ def _family_of(sample_name: str, known: Iterable[str]) -> str:
     return sample_name
 
 
-def federate(expositions: Iterable[Tuple[str, str]],
+def federate(expositions: Iterable[
+                 Tuple[Union[str, Dict[str, str]], str]],
              label: str = "worker",
              preamble: str = "") -> str:
-    """Merge ``(worker_id, exposition_text)`` pairs into one document.
+    """Merge ``(identity, exposition_text)`` pairs into one document.
 
-    Each worker's samples get ``label="<worker_id>"`` injected, families
-    are re-grouped so all samples of a name are contiguous, and HELP/
-    TYPE headers are emitted once per family (first worker's wording
-    wins).  *preamble* is prepended verbatim (the gateway's own,
-    un-labelled, fleet-level families).
+    *identity* is either a bare worker id (injected as
+    ``label="<worker_id>"``, the cold-fleet shape) or a dict of label
+    pairs (e.g. ``{"worker": "w1", "job": "fir-c1"}``, the warm-fleet
+    shape where one worker serves many jobs).  Families are re-grouped
+    so all samples of a name are contiguous, and HELP/TYPE headers are
+    emitted once per family (first exposition's wording wins).
+    *preamble* is prepended verbatim (the gateway's own, un-labelled,
+    fleet-level families).
     """
     help_lines: Dict[str, str] = {}
     type_lines: Dict[str, str] = {}
@@ -98,8 +115,10 @@ def federate(expositions: Iterable[Tuple[str, str]],
             order.append(family)
         return samples[family]
 
-    for worker_id, text in expositions:
-        labelled = inject_label(text, label, worker_id)
+    for identity, text in expositions:
+        labels = (identity if isinstance(identity, dict)
+                  else {label: identity})
+        labelled = inject_labels(text, labels)
         for line in labelled.splitlines():
             if not line.strip():
                 continue

@@ -1,0 +1,166 @@
+"""Control-channel framing under damage: the FrameDecoder contract.
+
+The manager reads worker stdout as raw pipe chunks.  Nothing guarantees
+those chunks align with lines: the OS splits where it pleases (even
+mid-UTF-8-sequence), simulations ``print()`` freely between frames, and
+a worker dying mid-write leaves a torn line.  These tests feed the
+decoder exactly that traffic.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.protocol import (
+    CONTROL_PREFIX,
+    FrameDecoder,
+    decode_command,
+    emit,
+    encode_command,
+)
+
+
+def _frame(payload) -> bytes:
+    return (CONTROL_PREFIX + json.dumps(payload) + "\n").encode()
+
+
+# ---------------------------------------------------------------------------
+# Clean traffic
+# ---------------------------------------------------------------------------
+
+def test_whole_frames_decode_in_order():
+    decoder = FrameDecoder()
+    events = decoder.feed(_frame({"event": "ready", "n": 1})
+                          + _frame({"event": "done", "n": 2}))
+    assert [e["n"] for e in events] == [1, 2]
+    assert decoder.errors == 0 and decoder.noise == 0
+
+
+def test_emit_output_round_trips_through_the_decoder(capsys):
+    emit({"event": "final-metrics", "metrics_text": "x" * 70000})
+    out = capsys.readouterr().out
+    (event,) = FrameDecoder().feed(out.encode())
+    assert len(event["metrics_text"]) == 70000
+
+
+# ---------------------------------------------------------------------------
+# Split chunks
+# ---------------------------------------------------------------------------
+
+def test_frame_split_across_arbitrary_chunk_boundaries():
+    raw = _frame({"event": "progress", "sim_time": 1.5e-6})
+    for cut in range(1, len(raw)):
+        decoder = FrameDecoder()
+        events = decoder.feed(raw[:cut]) + decoder.feed(raw[cut:])
+        assert [e["event"] for e in events] == ["progress"], cut
+        assert decoder.errors == 0
+
+
+def test_chunk_split_mid_utf8_sequence():
+    payload = {"event": "failed", "error": "bad workload “nönesuch”"}
+    raw = (CONTROL_PREFIX
+           + json.dumps(payload, ensure_ascii=False)
+           + "\n").encode()
+    # Split inside the multi-byte sequence for “ (3 bytes in UTF-8).
+    cut = raw.index("“".encode()) + 1
+    decoder = FrameDecoder()
+    events = decoder.feed(raw[:cut]) + decoder.feed(raw[cut:])
+    assert events[0]["error"] == "bad workload “nönesuch”"
+    assert decoder.errors == 0
+
+
+def test_one_byte_at_a_time_delivery():
+    raw = _frame({"event": "ready", "worker_id": "w1"})
+    decoder = FrameDecoder()
+    events = []
+    for i in range(len(raw)):
+        events += decoder.feed(raw[i:i + 1])
+    assert [e["event"] for e in events] == ["ready"]
+
+
+# ---------------------------------------------------------------------------
+# Interleaved garbage
+# ---------------------------------------------------------------------------
+
+def test_plain_stdout_lines_are_ignored_but_counted():
+    decoder = FrameDecoder()
+    events = decoder.feed(b"loading kernel...\n"
+                          + _frame({"event": "started"})
+                          + b"42 cycles simulated\n"
+                          + _frame({"event": "done"}))
+    assert [e["event"] for e in events] == ["started", "done"]
+    assert decoder.noise == 2
+    assert decoder.errors == 0
+
+
+def test_print_without_newline_glued_onto_a_frame_recovers():
+    # print("...", end="") from inside a simulation lands immediately
+    # before the next frame's prefix, on the same line.
+    decoder = FrameDecoder()
+    events = decoder.feed(b"stray fragment"
+                          + _frame({"event": "progress", "n": 7}))
+    assert [e["n"] for e in events] == [7]
+    assert decoder.noise == 1
+
+
+def test_torn_json_is_dropped_and_counted():
+    decoder = FrameDecoder()
+    events = decoder.feed(CONTROL_PREFIX.encode()
+                          + b'{"event": "done", "ok": tr\n'
+                          + _frame({"event": "ready"}))
+    assert [e["event"] for e in events] == ["ready"]
+    assert decoder.errors == 1
+
+
+def test_non_object_control_payload_is_an_error():
+    decoder = FrameDecoder()
+    assert decoder.feed(CONTROL_PREFIX.encode() + b"[1, 2]\n") == []
+    assert decoder.errors == 1
+
+
+def test_binary_garbage_between_frames():
+    decoder = FrameDecoder()
+    events = decoder.feed(bytes(range(256)) + b"\n"
+                          + _frame({"event": "done"}))
+    assert [e["event"] for e in events] == ["done"]
+
+
+def test_runaway_unterminated_garbage_does_not_balloon_memory():
+    decoder = FrameDecoder()
+    for _ in range(10):
+        assert decoder.feed(b"\xff" * (1024 * 1024)) == []
+    # The buffer was dropped once it crossed the line cap ...
+    assert decoder.errors >= 1
+    # ... and the channel still works afterwards.
+    assert decoder.feed(b"\n" + _frame({"event": "ready"})) != []
+
+
+def test_eof_mid_frame_counts_as_torn_not_parsed():
+    decoder = FrameDecoder()
+    assert decoder.feed(
+        CONTROL_PREFIX.encode() + b'{"event": "done", "ok": true') == []
+    assert decoder.flush() == []
+    assert decoder.errors == 1
+
+
+def test_eof_with_plain_text_leftover_is_noise():
+    decoder = FrameDecoder()
+    decoder.feed(b"half a log line")
+    assert decoder.flush() == []
+    assert decoder.noise == 1 and decoder.errors == 0
+
+
+# ---------------------------------------------------------------------------
+# The command direction
+# ---------------------------------------------------------------------------
+
+def test_command_round_trip():
+    payload = {"cmd": "run", "spec": {"job_id": "a"}, "attempt": 2}
+    line = encode_command(payload).decode()
+    assert decode_command(line) == payload
+
+
+@pytest.mark.parametrize("line", ["", "   \n", "not json",
+                                  '"a bare string"', "[1,2,3]"])
+def test_bad_command_lines_are_none_not_fatal(line):
+    assert decode_command(line) is None

@@ -1,8 +1,9 @@
 """The gateway in isolation, against a stub manager and a fake worker.
 
-``FleetGateway`` documents a three-method manager contract
-(``live_workers`` / ``final_metrics`` / ``status``); these tests hold it
-to that contract so the gateway stays testable without subprocesses.
+``FleetGateway`` documents a four-method manager contract
+(``live_workers`` / ``scrape_targets`` / ``final_metrics`` /
+``status``); these tests hold it to that contract so the gateway stays
+testable without subprocesses.
 """
 
 import json
@@ -18,9 +19,20 @@ from repro.fleet import FleetGateway
 
 
 class _StubManager:
-    def __init__(self, live=None, final=None, summary=None):
+    """The manager contract, minus the subprocesses.
+
+    ``live`` is ``{worker_id: url}``; ``running`` is ``{worker_id:
+    job_id}`` (live workers mid-job, i.e. scrape targets); ``final`` is
+    ``{job_id: {worker_id, attempt, text}}`` — the warm-fleet,
+    job-keyed shape.
+    """
+
+    def __init__(self, live=None, final=None, summary=None,
+                 running=None, restarts=0):
         self.live = dict(live or {})
         self.final = dict(final or {})
+        self.running = dict(running or {})
+        self.restarts = restarts
         self.summary = dict(summary or {"queued": 0, "running": 0,
                                         "completed": 0, "failed": 0,
                                         "total": 0, "retries": 0})
@@ -28,11 +40,18 @@ class _StubManager:
     def live_workers(self):
         return dict(self.live)
 
+    def scrape_targets(self):
+        return [{"worker_id": worker_id, "job_id": job_id,
+                 "url": self.live[worker_id]}
+                for worker_id, job_id in self.running.items()]
+
     def final_metrics(self):
-        return dict(self.final)
+        return {job_id: dict(entry)
+                for job_id, entry in self.final.items()}
 
     def status(self):
-        return {"num_workers": 2, "drained": False,
+        return {"num_workers": 2, "warm": True, "drained": False,
+                "worker_restarts": self.restarts,
                 "summary": dict(self.summary), "workers": [], "jobs": []}
 
 
@@ -137,15 +156,22 @@ def test_proxy_without_sub_path_is_400():
         gateway.stop()
 
 
-def test_federated_metrics_merges_live_and_exited_workers(fake_worker):
+_UP = "# HELP up Up.\n# TYPE up gauge\nup {v}\n"
+
+
+def test_federated_metrics_merges_live_and_finished_jobs(fake_worker):
     manager = _StubManager(
         live={"w1": fake_worker.url},
-        final={"w2": "# HELP up Up.\n# TYPE up gauge\nup 0\n"})
+        running={"w1": "job-live"},
+        final={"job-old": {"worker_id": "w2", "attempt": 0,
+                           "text": _UP.format(v=0)}})
     gateway = _gateway(manager)
     try:
         text = RTMClient(gateway.url).metrics_text()
-        assert 'up{worker="w1"} 1' in text
-        assert 'up{worker="w2"} 0' in text  # exited worker's cached scrape
+        # The running job is scraped live; the finished one comes from
+        # the control-channel cache; both carry (worker, job) labels.
+        assert 'up{worker="w1",job="job-live"} 1' in text
+        assert 'up{worker="w2",job="job-old"} 0' in text
         # The gateway's own fleet families lead, un-labelled.
         assert "rtm_fleet_workers_live 1" in text
         assert text.splitlines().count("# TYPE up gauge") == 1
@@ -153,8 +179,28 @@ def test_federated_metrics_merges_live_and_exited_workers(fake_worker):
         gateway.stop()
 
 
+def test_finished_job_is_not_double_scraped_from_its_worker(
+        fake_worker):
+    """Once a job's final exposition landed, a live scrape of the same
+    job must not add a second copy of its series — the warm worker may
+    not have picked up its next job yet."""
+    manager = _StubManager(
+        live={"w1": fake_worker.url},
+        running={"w1": "job-a"},
+        final={"job-a": {"worker_id": "w1", "attempt": 0,
+                         "text": _UP.format(v=0)}})
+    gateway = _gateway(manager)
+    try:
+        text = RTMClient(gateway.url).metrics_text()
+        assert text.count('job="job-a"') == 1
+        assert 'up{worker="w1",job="job-a"} 0' in text  # the final won
+    finally:
+        gateway.stop()
+
+
 def test_federated_metrics_reports_unreachable_workers():
-    gateway = _gateway(_StubManager(live={"w1": "http://127.0.0.1:9"}))
+    gateway = _gateway(_StubManager(live={"w1": "http://127.0.0.1:9"},
+                                    running={"w1": "job-a"}))
     try:
         text = RTMClient(gateway.url).metrics_text()
         assert "# worker w1 unreachable:" in text
@@ -166,13 +212,30 @@ def test_federated_metrics_reports_unreachable_workers():
 def test_fleet_gauges_track_the_queue_summary():
     manager = _StubManager(summary={"queued": 2, "running": 1,
                                     "completed": 3, "failed": 1,
-                                    "total": 7, "retries": 2})
+                                    "total": 7, "retries": 2},
+                           restarts=1)
     gateway = _gateway(manager)
     try:
         text = RTMClient(gateway.url).metrics_text()
         assert 'rtm_fleet_jobs{state="queued"} 2' in text
         assert 'rtm_fleet_jobs{state="completed"} 3' in text
         assert "rtm_fleet_job_retries_total 2" in text
+        assert "rtm_fleet_worker_restarts_total 1" in text
+    finally:
+        gateway.stop()
+
+
+def test_per_job_metrics_route_serves_the_cached_final():
+    manager = _StubManager(
+        final={"job-a": {"worker_id": "w3", "attempt": 1,
+                         "text": _UP.format(v=1)}})
+    gateway = _gateway(manager)
+    try:
+        client = RTMClient(gateway.url)
+        text = client.fleet_job_metrics("job-a")
+        assert 'up{worker="w3",job="job-a"} 1' in text
+        with pytest.raises(RTMClientError, match="404"):
+            client.fleet_job_metrics("job-z")
     finally:
         gateway.stop()
 

@@ -43,9 +43,43 @@ def test_fault_without_kind_is_rejected():
 
 def test_spec_round_trips_through_dict():
     spec = _spec(chiplets=3, fault={"kind": "stall", "target": "*"},
-                 max_retries=2)
+                 max_retries=2, trace=True)
     clone = JobSpec.from_dict(spec.to_dict())
     assert clone == spec
+
+
+def test_validation_builds_the_catalog_once_for_a_campaign(monkeypatch):
+    """Submitting N jobs must not rebuild the workload catalog N times
+    (validation runs against the cached schema)."""
+    from repro.fleet import queue as queue_module
+
+    calls = {"n": 0}
+    real_catalog = queue_module.workload_catalog
+
+    def counting_catalog():
+        calls["n"] += 1
+        return real_catalog()
+
+    monkeypatch.setattr(queue_module, "workload_catalog",
+                        counting_catalog)
+    queue_module._catalog_schema.cache_clear()
+    try:
+        queue = JobQueue()
+        queue.submit_all([_spec(f"j{i}", params={"num_taps": 4})
+                          for i in range(25)])
+        assert calls["n"] == 1
+    finally:
+        queue_module._catalog_schema.cache_clear()
+
+
+def test_cached_schema_does_not_leak_workload_instances():
+    """build_workload must hand out a fresh instance per call even
+    though validation is cached — jobs must not share state through
+    the catalog."""
+    spec_a, spec_b = _spec("a"), _spec("b")
+    spec_a.validate(), spec_b.validate()
+    built_a, built_b = spec_a.build_workload(), spec_b.build_workload()
+    assert built_a is not built_b
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""The worker subprocess: control channel framing, spec handling."""
+"""The worker subprocess: event protocol, spec handling, warm serving."""
 
 import json
 import os
@@ -7,57 +7,66 @@ import sys
 
 import pytest
 
+from repro.fleet.protocol import FrameDecoder, encode_command
 from repro.fleet.worker import CONTROL_PREFIX, emit
 
 
-def _run_worker(spec_json, *extra, timeout=120):
+def _worker_env():
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
     env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _run_worker(spec_json, *extra, timeout=120):
     return subprocess.run(
         [sys.executable, "-m", "repro.fleet.worker",
          "--spec", spec_json, *extra],
-        capture_output=True, text=True, timeout=timeout, env=env)
+        capture_output=True, text=True, timeout=timeout,
+        env=_worker_env())
 
 
 def _control_events(stdout):
-    events = []
-    for line in stdout.splitlines():
-        if line.startswith(CONTROL_PREFIX):
-            events.append(json.loads(line[len(CONTROL_PREFIX):]))
-    return events
+    return list(FrameDecoder().iter_text(stdout))
 
 
 def test_emit_writes_prefixed_flushed_json(capsys):
-    emit({"event": "register", "pid": 1})
+    emit({"event": "ready", "pid": 1})
     out = capsys.readouterr().out
     assert out.startswith(CONTROL_PREFIX)
     assert json.loads(out[len(CONTROL_PREFIX):]) == \
-        {"event": "register", "pid": 1}
+        {"event": "ready", "pid": 1}
 
 
 @pytest.mark.slow
-def test_worker_runs_a_job_and_ships_the_result():
+def test_one_shot_worker_emits_the_full_event_sequence():
     spec = {"job_id": "fir-c1", "workload": "fir", "chiplets": 1}
     proc = _run_worker(json.dumps(spec))
     assert proc.returncode == 0, proc.stderr
     events = _control_events(proc.stdout)
     kinds = [e["event"] for e in events]
-    assert kinds == ["register", "result"]
+    # progress events are timing-dependent; the rest is the contract.
+    assert [k for k in kinds if k != "progress"] == \
+        ["ready", "started", "final-metrics", "done"]
 
-    register, result = events
-    assert register["job_id"] == "fir-c1"
-    assert register["url"].startswith("http://127.0.0.1:")
-    assert register["pid"] > 0
-    assert register["port"] == int(register["url"].rsplit(":", 1)[1])
+    ready = events[0]
+    assert ready["url"].startswith("http://127.0.0.1:")
+    assert ready["pid"] > 0
+    assert ready["port"] == int(ready["url"].rsplit(":", 1)[1])
 
+    final = next(e for e in events if e["event"] == "final-metrics")
+    result = events[-1]
+    assert result["job_id"] == "fir-c1"
     assert result["ok"] is True
     assert result["run_state"] == "completed"
     assert result["sim_time"] > 0
     assert result["events"] > 0
     # The final exposition rides the control channel so the gateway can
-    # keep serving this worker's series after the process dies.
-    assert "rtm_engine_events_total" in result["metrics_text"]
+    # keep serving this job's series after the worker moves on or dies.
+    assert "rtm_engine_events_total" in final["metrics_text"]
+    # ... and it ships *before* the result, so a scrape racing the
+    # completion can never see a terminal job with no series.
+    assert kinds.index("final-metrics") < kinds.index("done")
 
 
 def test_bad_spec_is_rejected_before_any_simulation():
@@ -65,7 +74,7 @@ def test_bad_spec_is_rejected_before_any_simulation():
                                    "workload": "nonesuch"}))
     assert proc.returncode == 2
     (result,) = _control_events(proc.stdout)
-    assert result["event"] == "result"
+    assert result["event"] == "failed"
     assert result["run_state"] == "rejected"
     assert "unknown workload" in result["error"]
 
@@ -75,3 +84,74 @@ def test_malformed_spec_json_is_rejected():
     assert proc.returncode == 2
     (result,) = _control_events(proc.stdout)
     assert result["run_state"] == "rejected"
+
+
+@pytest.mark.slow
+def test_warm_worker_serves_multiple_jobs_from_stdin():
+    """One --serve process: two run commands, two results, one URL."""
+    commands = b"".join([
+        encode_command({"cmd": "run", "attempt": 0,
+                        "spec": {"job_id": "a", "workload": "fir",
+                                 "params": {"num_samples": 2048}}}),
+        encode_command({"cmd": "run", "attempt": 0,
+                        "spec": {"job_id": "b", "workload": "fir",
+                                 "params": {"num_samples": 2048}}}),
+        encode_command({"cmd": "shutdown"}),
+    ])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.fleet.worker", "--serve",
+         "--worker-id", "w1"],
+        input=commands, capture_output=True, timeout=120,
+        env=_worker_env())
+    assert proc.returncode == 0, proc.stderr.decode()
+    events = list(FrameDecoder().feed(proc.stdout))
+    kinds = [e["event"] for e in events if e["event"] != "progress"]
+    # ready brackets every job: boot, after a, after b.
+    assert kinds == ["ready", "started", "final-metrics", "done",
+                     "ready", "started", "final-metrics", "done",
+                     "ready"]
+    readies = [e for e in events if e["event"] == "ready"]
+    assert {r["url"] for r in readies} == {readies[0]["url"]}, \
+        "the warm worker's URL must be stable across jobs"
+    assert [r["jobs_done"] for r in readies] == [0, 1, 2]
+    dones = [e for e in events if e["event"] == "done"]
+    assert [d["job_id"] for d in dones] == ["a", "b"]
+    assert all(d["ok"] for d in dones)
+
+
+@pytest.mark.slow
+def test_warm_worker_rejects_bad_spec_and_keeps_serving():
+    commands = b"".join([
+        encode_command({"cmd": "run", "attempt": 0,
+                        "spec": {"job_id": "bad",
+                                 "workload": "nonesuch"}}),
+        encode_command({"cmd": "nonsense"}),
+        encode_command({"cmd": "run", "attempt": 0,
+                        "spec": {"job_id": "good", "workload": "fir",
+                                 "params": {"num_samples": 2048}}}),
+        encode_command({"cmd": "shutdown"}),
+    ])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.fleet.worker", "--serve",
+         "--worker-id", "w1"],
+        input=commands, capture_output=True, timeout=120,
+        env=_worker_env())
+    assert proc.returncode == 0, proc.stderr.decode()
+    events = list(FrameDecoder().feed(proc.stdout))
+    failed = [e for e in events if e["event"] == "failed"]
+    assert [f["run_state"] for f in failed] == ["rejected", "rejected"]
+    done = next(e for e in events if e["event"] == "done")
+    assert done["job_id"] == "good" and done["ok"]
+    # The worker re-announced readiness after each rejection.
+    assert sum(1 for e in events if e["event"] == "ready") == 4
+
+
+def test_warm_worker_exits_cleanly_on_stdin_eof():
+    """An orphaned worker (manager gone, pipe closed) must not linger."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.fleet.worker", "--serve",
+         "--worker-id", "w1"],
+        input=b"", capture_output=True, timeout=60, env=_worker_env())
+    assert proc.returncode == 0, proc.stderr.decode()
+    events = list(FrameDecoder().feed(proc.stdout))
+    assert [e["event"] for e in events] == ["ready"]

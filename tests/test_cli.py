@@ -161,8 +161,11 @@ def test_fleet_run_small_campaign(capsys, tmp_path):
         {"fir-c1", "fir-c2"}
 
     metrics = metrics_out.read_text()
-    assert 'worker="w1"' in metrics
-    assert 'worker="w2"' in metrics
+    # Every job's series federates with (worker, job) labels — which
+    # warm worker ran which job is the scheduler's business.
+    assert 'job="fir-c1"' in metrics
+    assert 'job="fir-c2"' in metrics
+    assert 'worker="w' in metrics
     assert 'rtm_fleet_jobs{state="completed"} 2' in metrics
 
 
