@@ -1,0 +1,76 @@
+"""Checkpoint-resume pays: a restored attempt redoes < 50% of the work.
+
+ISSUE 7's acceptance benchmark.  A stall-killed (or crashed) worker's
+retried job used to restart from t=0, repaying every event already
+simulated.  With a checkpoint cadence the retry resumes from the last
+snapshot; this harness measures the redo directly in events — the
+engine's own unit of work — and gates the saving.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.checkpoint import Checkpointer, load_checkpoint
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+SUMMARY = pathlib.Path(__file__).resolve().parent.parent \
+    / "checkpoint_resume_summary.txt"
+
+#: The retry must redo less than this fraction of a cold run's events.
+MAX_REDO_FRACTION = 0.5
+
+
+def _workload():
+    return FIR(num_samples=8192)
+
+
+def _cold_events() -> int:
+    platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+    _workload().enqueue(platform.driver)
+    assert platform.run()
+    return platform.engine.event_count
+
+
+def test_resume_redoes_less_than_half_of_a_cold_restart():
+    cold_events = _cold_events()
+
+    # Checkpoint on a deterministic cadence sized so the last snapshot
+    # lands around 60% of the run — a "crash with the last periodic
+    # checkpoint well behind the failure point" position, the worst
+    # case a sane cadence produces.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(pathlib.Path(tmp) / "ckpt.rtm")
+        platform = GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+        _workload().enqueue(platform.driver)
+        ckpt = Checkpointer(platform, path,
+                            every_events=max(1, (cold_events * 3) // 5))
+        ckpt.start()
+        assert platform.run()
+        ckpt.stop()
+        assert ckpt.count == 1, "cadence should leave one snapshot ~60%"
+
+        restored, header = load_checkpoint(path, workload=_workload())
+        events_at_restore = restored.engine.event_count
+        assert restored.engine.now > 0.0, \
+            "resume must start from engine time > 0, not t=0"
+        assert restored.run()
+        redo_events = restored.engine.event_count - events_at_restore
+
+    fraction = redo_events / cold_events
+    SUMMARY.write_text(json.dumps({
+        "cold_events": cold_events,
+        "checkpoint_sim_time": header["meta"]["sim_time"],
+        "events_at_restore": events_at_restore,
+        "redo_events": redo_events,
+        "redo_fraction": round(fraction, 4),
+        "bound": MAX_REDO_FRACTION,
+    }, indent=2) + "\n")
+
+    assert fraction < MAX_REDO_FRACTION, (
+        f"resume redid {fraction:.0%} of a cold run "
+        f"({redo_events}/{cold_events} events); bound is "
+        f"{MAX_REDO_FRACTION:.0%}")

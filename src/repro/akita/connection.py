@@ -19,7 +19,7 @@ from typing import Dict, List, Protocol, runtime_checkable
 
 from .engine import Engine
 from .errors import PortError
-from .event import CallbackEvent
+from .event import Event
 from .hooks import Hookable, HookCtx, HookPos
 from .message import Msg
 from .port import Port
@@ -51,6 +51,23 @@ class Transfer:
     msg: Msg
     deliver_at: float
     drop: bool = False
+
+
+class DeliveryEvent(Event):
+    """Lands one in-flight message at its arrival time.
+
+    The handler is the connection itself.  A dedicated event class
+    (rather than a per-send closure wrapped in a CallbackEvent) keeps
+    the event queue picklable for checkpoint/restore and saves a
+    closure allocation per message on the hot path.
+    """
+
+    __slots__ = ("msg",)
+
+    def __init__(self, time: float, connection: "DirectConnection",
+                 msg: Msg):
+        super().__init__(time, connection, secondary=True)
+        self.msg = msg
 
 
 class DirectConnection(Hookable):
@@ -125,12 +142,13 @@ class DirectConnection(Hookable):
                 return
             deliver_at = max(transfer.deliver_at, self._engine.now)
 
-        def _deliver(_event: CallbackEvent, msg: Msg = msg) -> None:
-            self._inflight[msg.dst] -= 1
-            msg.dst.deliver(msg)
+        self._engine.schedule(DeliveryEvent(deliver_at, self, msg))
 
-        self._engine.schedule(
-            CallbackEvent(deliver_at, _deliver, secondary=True))
+    def handle(self, event: DeliveryEvent) -> None:
+        """Deliver the event's message (engine-facing Handler API)."""
+        msg = event.msg
+        self._inflight[msg.dst] -= 1
+        msg.dst.deliver(msg)
 
     def notify_available(self, port: Port) -> None:
         """A buffer slot freed at *port*; wake potential senders."""

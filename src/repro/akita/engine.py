@@ -209,6 +209,32 @@ class Engine(Hookable):
             self._state = RunState.DRY
             self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_DRY))
 
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Checkpoint view of the engine: clock, queue and counters.
+
+        Threading primitives belong to the *process*, not the simulated
+        state, and a snapshot is only taken at an event boundary (paused
+        or dry), so dropping them loses nothing.
+        """
+        state = super().__getstate__()
+        for attr in ("_lock", "_resume"):
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._lock = threading.RLock()
+        self._resume = threading.Event()
+        self._resume.set()
+        # The restored engine is runnable regardless of how the
+        # checkpointed one was parked (paused, mid-run, terminated).
+        self._pause_requested = False
+        self._terminated = False
+        self._state = RunState.IDLE
+
     def run_until(self, t: VTimeInSec) -> None:
         """Process events with time ≤ *t* (useful in tests).
 

@@ -26,6 +26,25 @@ VTimeInSec = float
 _event_ids = itertools.count()
 
 
+def event_id_watermark() -> int:
+    """An id strictly greater than every event id handed out so far.
+
+    Consumes one id, which is harmless — ids only need uniqueness and
+    monotonicity.  Checkpoints store the watermark so a restoring
+    process can fast-forward its counter and never mint an id that
+    collides with (or sorts before) one frozen in the snapshot, keeping
+    the queue's deterministic tie-breaking intact.
+    """
+    return next(_event_ids)
+
+
+def ensure_event_ids_at_least(n: int) -> None:
+    """Fast-forward the event id counter so the next id is >= *n*."""
+    global _event_ids
+    current = next(_event_ids)
+    _event_ids = itertools.count(max(current + 1, int(n)))
+
+
 @runtime_checkable
 class Handler(Protocol):
     """Anything that can process events."""

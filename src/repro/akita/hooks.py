@@ -168,3 +168,22 @@ class Hookable:
     @property
     def num_hooks(self) -> int:
         return len(self._hooks)
+
+    # -- pickling (checkpoint/restore) ---------------------------------
+    # Hooks are monitoring-scoped: they close over tracers, metric
+    # registries and injectors that live outside the simulated system.
+    # A checkpoint captures the *simulated* state only; whoever restores
+    # the snapshot attaches a fresh monitor.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for attr in ("_hooks", "_hook_ctx", "_hook_positions",
+                     "_hook_subs"):
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._hooks = []
+        self._hook_ctx = None
+        self._hook_positions = frozenset()
+        self._hook_subs = []

@@ -16,6 +16,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _msg_ids = itertools.count()
 
 
+def msg_id_watermark() -> int:
+    """An id strictly greater than every message id handed out so far
+    (consumes one id; see :func:`repro.akita.event.event_id_watermark`).
+
+    Message ids key request/response matching (e.g. the CU's
+    outstanding-request table), so a restored process must never reuse
+    an id frozen in a snapshot."""
+    return next(_msg_ids)
+
+
+def ensure_msg_ids_at_least(n: int) -> None:
+    """Fast-forward the message id counter so the next id is >= *n*."""
+    global _msg_ids
+    current = next(_msg_ids)
+    _msg_ids = itertools.count(max(current + 1, int(n)))
+
+
 class Msg:
     """Base class of all messages.
 

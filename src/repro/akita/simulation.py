@@ -116,6 +116,24 @@ class Simulation:
         return state.value
 
     # ------------------------------------------------------------------
+    # Pickling (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the wakeup event; the completion check travels with the
+        snapshot (platforms install a picklable one — see
+        :class:`repro.gpu.platform._AllDone`)."""
+        state = self.__dict__.copy()
+        state.pop("_dry_wake", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._dry_wake = threading.Event()
+        # A snapshot of an aborted run restores as resumable: abort is a
+        # process-level decision (watchdog, operator), not sim state.
+        self._aborted = False
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def kickstart(self) -> None:

@@ -1,0 +1,266 @@
+"""Checkpoint file format and the save/load fix-up pipeline.
+
+Layout::
+
+    <header JSON>\\n
+    <pickled payload bytes>
+
+The header is one line of JSON carrying a magic string, a format
+version, the payload length, its SHA-256, and a ``meta`` dict (sim
+time, event count, id watermarks, plus whatever the caller adds — job
+id, attempt, cadence sequence).  Loading verifies magic, version,
+length and digest before unpickling, so a truncated or bit-flipped
+file fails loudly instead of resuming a corrupt simulation.  Files are
+written via temp-file + fsync + atomic rename
+(:mod:`repro.core.atomicio`), so the last good checkpoint at a path
+survives a crash mid-save.
+
+Restore fix-ups (what pickling alone cannot carry):
+
+* **Id watermarks.**  Event and message ids come from process-global
+  counters; the restoring process fast-forwards its counters past the
+  snapshot's watermark so restored ids stay unique and the event
+  queue's deterministic tie-breaking is preserved.
+* **Workload programs.**  Wavefront op streams are generators of
+  (deterministic) workload programs — unpicklable.  Kernel descriptors
+  drop them on save; the loader reinstalls them by kernel name from
+  the workload the caller provides, and live wavefronts replay their
+  consumed-op count to their exact position.
+* **Tick revival.**  The snapshot may have been taken from a *damaged*
+  run (a stall fault puts components into a wakeable coma).  The
+  loader reconciles each ticking component's schedule flag against
+  the actual pending tick events; if the snapshot's queue is dry —
+  the hung-run signature — it additionally schedules a wake-up tick
+  for every ticking component.  Snapshots with pending events are
+  self-driving and resume unperturbed, preserving exactness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import pickle
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..akita.component import TickingComponent
+from ..akita.event import (
+    TickEvent,
+    ensure_event_ids_at_least,
+    event_id_watermark,
+)
+from ..akita.message import ensure_msg_ids_at_least, msg_id_watermark
+from ..core.atomicio import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "load_checkpoint",
+    "read_checkpoint_meta",
+    "save_checkpoint",
+]
+
+CHECKPOINT_MAGIC = "rtm-ckpt"
+CHECKPOINT_VERSION = 1
+
+#: Refuse to parse absurd header lines (a corrupt file could otherwise
+#: make the reader scan for a newline through gigabytes of pickle).
+_MAX_HEADER_BYTES = 1 << 20
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be written, read, or verified."""
+
+
+def save_checkpoint(platform: Any, path: str,
+                    meta: Optional[Dict[str, Any]] = None,
+                    fsync: bool = True) -> Dict[str, Any]:
+    """Snapshot *platform* to *path* atomically; returns the header.
+
+    The caller must ensure the simulation is quiescent — the engine
+    paused, dry, or the call made from the simulation thread between
+    events (the :class:`~repro.checkpoint.checkpointer.Checkpointer`
+    guarantees this).  Unpicklable transients in the object graph (e.g.
+    a fault injector's pending pin-window callbacks) raise
+    :class:`CheckpointError`; the cadence driver treats that as a
+    skipped snapshot, never a dead run.
+    """
+    engine = getattr(platform, "engine", None)
+    header_meta: Dict[str, Any] = dict(meta or {})
+    if engine is not None:
+        header_meta.setdefault("sim_time", engine.now)
+        header_meta.setdefault("event_count", engine.event_count)
+        header_meta.setdefault("pending_events",
+                               engine.pending_event_count)
+    header_meta["event_id_watermark"] = event_id_watermark()
+    header_meta["msg_id_watermark"] = msg_id_watermark()
+    try:
+        payload = pickle.dumps(platform,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"simulation state is not picklable right now: "
+            f"{type(exc).__name__}: {exc}") from exc
+    header = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "payload_bytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "meta": header_meta,
+    }
+    buf = io.BytesIO()
+    buf.write(json.dumps(header).encode())
+    buf.write(b"\n")
+    buf.write(payload)
+    try:
+        atomic_write_bytes(path, buf.getvalue(), fsync=fsync)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path}: "
+                              f"{exc}") from exc
+    return header
+
+
+def read_checkpoint_meta(path: str) -> Dict[str, Any]:
+    """Read and validate only the header of *path* (cheap)."""
+    header, _ = _read_header(path)
+    return header
+
+
+def load_checkpoint(path: str, workload: Any = None,
+                    programs: Optional[Dict[str, Callable]] = None,
+                    revive: bool = True) -> Tuple[Any, Dict[str, Any]]:
+    """Load, verify and fix up a checkpoint; returns ``(platform,
+    header)``.
+
+    *workload* (a :class:`repro.workloads.base.Workload`) or *programs*
+    (kernel name → program fn) supplies the generator programs to
+    reinstall; omit both only for platforms that never launched a
+    kernel.  *revive* (default) schedules wake-up ticks so a snapshot
+    of a stalled run resumes making progress.
+    """
+    header, payload = _read_header(path, want_payload=True)
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt: payload SHA-256 mismatch")
+    try:
+        platform = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} failed to unpickle: "
+            f"{type(exc).__name__}: {exc}") from exc
+    meta = header.get("meta", {})
+    ensure_event_ids_at_least(int(meta.get("event_id_watermark", 0)) + 1)
+    ensure_msg_ids_at_least(int(meta.get("msg_id_watermark", 0)) + 1)
+    _reinstall_programs(platform, workload, programs)
+    if revive:
+        _revive_ticking(platform)
+    return platform, header
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _read_header(path: str,
+                 want_payload: bool = False
+                 ) -> Tuple[Dict[str, Any], bytes]:
+    try:
+        with open(path, "rb") as fh:
+            line = fh.readline(_MAX_HEADER_BYTES)
+            if not line.endswith(b"\n"):
+                raise CheckpointError(
+                    f"checkpoint {path} has no complete header line")
+            try:
+                header = json.loads(line)
+            except ValueError as exc:
+                raise CheckpointError(
+                    f"checkpoint {path} header is not JSON: "
+                    f"{exc}") from exc
+            if not isinstance(header, dict) \
+                    or header.get("magic") != CHECKPOINT_MAGIC:
+                raise CheckpointError(
+                    f"{path} is not an rtm checkpoint")
+            if header.get("version") != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint {path} has unsupported version "
+                    f"{header.get('version')!r} (this build reads "
+                    f"{CHECKPOINT_VERSION})")
+            expected = int(header.get("payload_bytes", -1))
+            if expected < 0:
+                raise CheckpointError(
+                    f"checkpoint {path} header lacks payload_bytes")
+            if not want_payload:
+                return header, b""
+            payload = fh.read(expected + 1)
+            if len(payload) != expected:
+                raise CheckpointError(
+                    f"checkpoint {path} is truncated or padded: "
+                    f"expected {expected} payload bytes, found "
+                    f"{len(payload)}")
+            return header, payload
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}") from exc
+
+
+def _reinstall_programs(platform: Any, workload: Any,
+                        programs: Optional[Dict[str, Callable]]) -> None:
+    driver = getattr(platform, "driver", None)
+    kernels = getattr(driver, "kernels", None)
+    if not kernels:
+        return
+    table: Dict[str, Callable] = dict(programs or {})
+    if workload is not None:
+        descriptor = workload.kernel()
+        table.setdefault(descriptor.name, descriptor.program)
+    missing = []
+    for state in kernels:
+        descriptor = state.descriptor
+        if descriptor.program is not None:
+            continue
+        program = table.get(descriptor.name)
+        if program is None:
+            missing.append(descriptor.name)
+            continue
+        # Pickle preserves object identity, so one reinstall fixes the
+        # descriptor every command, message and wavefront points at.
+        descriptor.install_program(program)
+    if missing:
+        raise CheckpointError(
+            "no program available for kernel(s) "
+            f"{sorted(set(missing))}; pass the checkpoint's workload "
+            "(or a programs= mapping) to load_checkpoint")
+
+
+def _revive_ticking(platform: Any) -> None:
+    simulation = getattr(platform, "simulation", platform)
+    engine = getattr(simulation, "engine", None)
+    components = getattr(simulation, "components", None)
+    if engine is None or components is None:
+        return
+    # Reconcile each ticking component's schedule flag with the ticks
+    # actually frozen in the queue (earliest pending tick per handler).
+    pending: Dict[int, float] = {}
+    for entry in engine._queue._heap:
+        event = entry[3]
+        if isinstance(event, TickEvent):
+            key = id(event.handler)
+            t = event.time
+            if key not in pending or t < pending[key]:
+                pending[key] = t
+    queue_dry = len(engine._queue) == 0
+    for component in components:
+        if not isinstance(component, TickingComponent):
+            continue
+        component._next_scheduled = pending.get(id(component))
+        # Kick only when the snapshot's queue is dry: a non-empty queue
+        # is a self-driving simulation and extra wake ticks would
+        # perturb its exact schedule, while a dry queue means every
+        # component is asleep — either the workload finished (kicks are
+        # a few no-progress ticks) or a fault put the system into a
+        # wakeable coma, and the kick is the difference between
+        # resuming and staying hung.  A run that goes back to sleep
+        # *after* restore is the watchdog's job, same as any hang.
+        if queue_dry:
+            component.tick_later()

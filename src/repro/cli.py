@@ -41,6 +41,36 @@ from .studies.session import problem_platform_config, problem_workload
 from .workloads import SUITE, suite_small
 
 
+def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``fleet run`` and ``fleet resume``: the gateway,
+    the wall bound, durability (journal + checkpoints) and artifacts."""
+    parser.add_argument("--port", type=int, default=0,
+                        help="gateway port (default: ephemeral)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="wall bound for the whole campaign "
+                             "(default 600 s)")
+    parser.add_argument("--journal", default="",
+                        help="append every scheduler transition to this "
+                             "write-ahead log (enables fleet resume); "
+                             "implied by fleet resume itself")
+    parser.add_argument("--checkpoint-dir", default="",
+                        help="workers write per-job checkpoints here; "
+                             "retries resume from them instead of t=0")
+    parser.add_argument("--checkpoint-events", type=int, default=0,
+                        help="checkpoint cadence in simulation events "
+                             "(default 20000 when --checkpoint-dir is "
+                             "set and no cadence is given)")
+    parser.add_argument("--checkpoint-interval", type=float,
+                        default=0.0,
+                        help="checkpoint cadence in wall seconds")
+    parser.add_argument("--status-out", default="",
+                        help="write the final /api/fleet JSON here "
+                             "(atomically)")
+    parser.add_argument("--metrics-out", default="",
+                        help="write one federated /metrics scrape here "
+                             "(atomically)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,16 +186,23 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_run.add_argument("--crash-first", action="store_true",
                            help="arm a stall fault on the first job's "
                                 "first attempt (restart-policy demo)")
-    fleet_run.add_argument("--port", type=int, default=0,
-                           help="gateway port (default: ephemeral)")
-    fleet_run.add_argument("--timeout", type=float, default=600.0,
-                           help="wall bound for the whole campaign "
-                                "(default 600 s)")
-    fleet_run.add_argument("--status-out", default="",
-                           help="write the final /api/fleet JSON here")
-    fleet_run.add_argument("--metrics-out", default="",
-                           help="write one federated /metrics scrape "
-                                "here")
+    _add_fleet_common(fleet_run)
+
+    fleet_resume = fleet_sub.add_parser(
+        "resume", help="rebuild a crashed campaign from its journal "
+                       "and finish it exactly-once")
+    fleet_resume.add_argument("journal_path", metavar="journal",
+                              help="the campaign's --journal file")
+    fleet_resume.add_argument("--workers", type=int, default=2,
+                              help="worker pool size (default 2)")
+    fleet_resume.add_argument("--cold", action="store_true",
+                              help="one subprocess per attempt instead "
+                                   "of a warm pool")
+    fleet_resume.add_argument("--worker-restarts", type=int,
+                              default=None,
+                              help="crashed warm workers replaced "
+                                   "before the pool gives up")
+    _add_fleet_common(fleet_resume)
 
     fleet_status = fleet_sub.add_parser(
         "status", help="query a running gateway")
@@ -400,6 +437,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "status":
         return _fleet_status(args)
+    if args.fleet_command == "resume":
+        return _fleet_resume(args)
     return _fleet_run(args)
 
 
@@ -429,9 +468,139 @@ def _fleet_status(args: argparse.Namespace) -> int:
     return 0
 
 
-def _fleet_run(args: argparse.Namespace) -> int:
+def _fleet_worker_args(args: argparse.Namespace) -> List[str]:
+    """Checkpoint flags forwarded to every worker process.  A
+    checkpoint dir with no cadence defaults to an event cadence — a
+    dir alone clearly means "I want checkpoints"."""
+    if not args.checkpoint_dir:
+        return []
+    extra = ["--checkpoint-dir", args.checkpoint_dir]
+    events = args.checkpoint_events
+    if events <= 0 and args.checkpoint_interval <= 0:
+        events = 20_000
+    if events > 0:
+        extra += ["--checkpoint-events", str(events)]
+    if args.checkpoint_interval > 0:
+        extra += ["--checkpoint-interval", str(args.checkpoint_interval)]
+    return extra
+
+
+class _FleetShutdown:
+    """SIGTERM/SIGINT → drain the campaign gracefully.
+
+    The handler only flags the request; the campaign wait loop notices,
+    stops dispatching, lets the manager flush worker results, and —
+    when a journal is attached — compacts it into a clean snapshot.
+    Being told to stop is not a failure (exit 0), and the journal left
+    behind is immediately resumable.
+    """
+
+    def __init__(self):
+        self.requested = False
+        self._event = threading.Event()
+        self._previous = {}
+
+    def _handle(self, signum, frame):  # noqa: ARG002 (signal signature)
+        self.requested = True
+        self._event.set()
+
+    def __enter__(self) -> "_FleetShutdown":
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum,
+                                                       self._handle)
+            except ValueError:
+                pass  # not the main thread: run unguarded
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+
+    def wait_drained(self, manager, timeout: float) -> bool:
+        """Small-step wait so a signal is honoured within ~0.2 s."""
+        deadline = time.monotonic() + timeout
+        while not self.requested:
+            if manager.drained.wait(timeout=0.2):
+                return True
+            if time.monotonic() > deadline:
+                return False
+        return False
+
+
+def _drive_campaign(args: argparse.Namespace, manager, journal,
+                    num_jobs: int) -> int:
+    """Start gateway + manager, wait for the queue to drain (or a
+    signal / the wall bound), harvest, persist artifacts atomically,
+    and settle the exit code.  Shared by ``fleet run`` and ``fleet
+    resume``."""
     from .core import RTMClient
-    from .fleet import (FleetGateway, FleetManager, JobQueue, JobSpec,
+    from .core.atomicio import atomic_write_json, atomic_write_text
+    from .fleet import FleetGateway, replay_journal
+
+    gateway = FleetGateway(manager, port=args.port)
+    gateway.start()
+    manager.start()
+    mode = "cold" if getattr(args, "cold", False) else "warm"
+    print(f"fleet gateway: {gateway.url}  "
+          f"({num_jobs} jobs, {args.workers} {mode} workers)")
+    if journal is not None:
+        print(f"campaign journal: {journal.path}")
+    with _FleetShutdown() as shutdown:
+        try:
+            drained = shutdown.wait_drained(manager, args.timeout)
+            # Harvest through the gateway's public API, like any client
+            # would — this is the paper's single pane of glass.
+            client = RTMClient(gateway.url)
+            status = client.fleet_status()
+            metrics_text = client.metrics_text()
+        finally:
+            manager.stop()
+            gateway.stop()
+            if journal is not None:
+                # Workers torn down by stop() journaled their fates
+                # above; compact everything into one clean snapshot so
+                # a resume replays a single record, not the full WAL.
+                journal.append(
+                    "campaign", critical=True,
+                    action=("drained" if manager.drained.is_set()
+                            else "sigterm-drain" if shutdown.requested
+                            else "timeout"))
+                journal.compact(replay_journal(journal.path))
+                journal.close()
+
+    if args.status_out:
+        atomic_write_json(args.status_out, status)
+        print(f"wrote fleet status to {args.status_out}")
+    if args.metrics_out:
+        atomic_write_text(args.metrics_out, metrics_text)
+        print(f"wrote federated metrics to {args.metrics_out}")
+
+    summary = status.get("summary", {})
+    for job in status.get("jobs", []):
+        workers = ",".join(job.get("workers", [])) or "-"
+        print(f"  {job['spec']['job_id']:16s} {job['state']:9s} "
+              f"attempts={job.get('attempt', 0) + 1} "
+              f"workers={workers}")
+    if shutdown.requested:
+        print(f"interrupted: campaign drained gracefully"
+              f"{' and journaled' if journal is not None else ''}; "
+              f"{summary.get('completed', 0)} completed so far")
+        return 0  # being told to stop is not a failure
+    print(f"{'drained' if drained else 'TIMEOUT'}: "
+          f"{summary.get('completed', 0)} completed, "
+          f"{summary.get('failed', 0)} failed, "
+          f"{summary.get('retries', 0)} retries")
+    # A campaign succeeds only if it drained and every job completed:
+    # failed, still-queued or still-running jobs all mean the exit code
+    # must be non-zero (a CI gate reads this).
+    ok = drained and not summary.get("failed", 0) \
+        and not summary.get("queued", 0) and not summary.get("running", 0)
+    return 0 if ok else 1
+
+
+def _fleet_run(args: argparse.Namespace) -> int:
+    from .fleet import (CampaignJournal, FleetManager, JobQueue, JobSpec,
                         workload_catalog)
 
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
@@ -460,50 +629,67 @@ def _fleet_run(args: argparse.Namespace) -> int:
                           "start": 5e-7}
 
     queue = JobQueue()
+    journal = None
+    if args.journal:
+        journal = CampaignJournal(args.journal)
+        journal.attach(queue)  # before submit: submissions are records
+        journal.append("campaign", critical=True, action="start",
+                       workers=args.workers, jobs=len(specs))
     queue.submit_all(specs)
     manager = FleetManager(queue, num_workers=args.workers,
                            warm=not args.cold,
-                           max_worker_restarts=args.worker_restarts)
-    gateway = FleetGateway(manager, port=args.port)
-    gateway.start()
-    manager.start()
-    print(f"fleet gateway: {gateway.url}  "
-          f"({len(specs)} jobs, {args.workers} "
-          f"{'cold' if args.cold else 'warm'} workers)")
+                           max_worker_restarts=args.worker_restarts,
+                           worker_args=_fleet_worker_args(args),
+                           journal=journal)
+    return _drive_campaign(args, manager, journal, len(specs))
+
+
+def _fleet_resume(args: argparse.Namespace) -> int:
+    from .fleet import CampaignJournal, FleetManager, replay_journal
+
     try:
-        drained = manager.wait(timeout=args.timeout)
-        # Harvest through the gateway's public API, like any client
-        # would — this is the paper's single pane of glass.
-        client = RTMClient(gateway.url)
-        status = client.fleet_status()
-        metrics_text = client.metrics_text()
-    finally:
-        manager.stop()
-        gateway.stop()
+        replay = replay_journal(args.journal_path)
+    except OSError as exc:
+        print(f"error: cannot read journal: {exc}", file=sys.stderr)
+        return 2
+    if not replay.jobs:
+        print(f"error: {args.journal_path} holds no jobs "
+              f"({replay.records} records, "
+              f"{replay.corrupt_records} corrupt)", file=sys.stderr)
+        return 2
 
-    if args.status_out:
-        import pathlib
-        pathlib.Path(args.status_out).write_text(
-            json.dumps(status, indent=2, default=str))
-        print(f"wrote fleet status to {args.status_out}")
-    if args.metrics_out:
-        import pathlib
-        pathlib.Path(args.metrics_out).write_text(metrics_text)
-        print(f"wrote federated metrics to {args.metrics_out}")
+    counts = replay.counts()
+    damage = []
+    if replay.torn_tail:
+        damage.append("torn tail")
+    if replay.corrupt_records:
+        damage.append(f"{replay.corrupt_records} corrupt record(s)")
+    print(f"replayed {replay.records} journal records: "
+          f"{counts['completed']} completed, {counts['failed']} failed, "
+          f"{counts['queued'] + counts['running']} to run"
+          + (f"  [{', '.join(damage)}]" if damage else ""))
 
-    summary = status.get("summary", {})
-    for job in status.get("jobs", []):
-        workers = ",".join(job.get("workers", [])) or "-"
-        print(f"  {job['spec']['job_id']:16s} {job['state']:9s} "
-              f"attempts={job.get('attempt', 0) + 1} "
-              f"workers={workers}")
-    print(f"{'drained' if drained else 'TIMEOUT'}: "
-          f"{summary.get('completed', 0)} completed, "
-          f"{summary.get('failed', 0)} failed, "
-          f"{summary.get('retries', 0)} retries")
-    ok = drained and not summary.get("failed", 0) \
-        and not summary.get("queued", 0) and not summary.get("running", 0)
-    return 0 if ok else 1
+    queue, resumed = replay.build_queue()
+    for job_id in resumed:
+        print(f"  resuming {job_id}"
+              + (f" from checkpoint t="
+                 f"{replay.checkpoints[job_id].get('sim_time')}"
+                 if job_id in replay.checkpoints else " cold"))
+
+    # Compact before running: the rebuilt state becomes the journal's
+    # baseline snapshot, and this campaign's records append after it.
+    journal = CampaignJournal(args.journal_path)
+    journal.compact(replay)
+    journal.append("campaign", critical=True, action="resume",
+                   workers=args.workers, resumed_jobs=len(resumed))
+    journal.attach(queue)
+    manager = FleetManager(queue, num_workers=args.workers,
+                           warm=not args.cold,
+                           max_worker_restarts=args.worker_restarts,
+                           worker_args=_fleet_worker_args(args),
+                           journal=journal)
+    manager.preload_resume(replay)
+    return _drive_campaign(args, manager, journal, len(replay.jobs))
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:

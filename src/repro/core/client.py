@@ -221,6 +221,15 @@ class RTMClient:
     def watchdog_stop(self) -> Dict[str, Any]:
         return self._post("/api/watchdog", action="stop")
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """Checkpointer status (cadence, count, last snapshot meta)."""
+        return self._get("/api/checkpoint")
+
+    def checkpoint_save(self) -> Dict[str, Any]:
+        """Force one snapshot now (pauses the engine at an event
+        boundary first).  POST — never retried."""
+        return self._post("/api/checkpoint", action="save")
+
     # -- tracing -------------------------------------------------------------
     def trace(self) -> Dict[str, Any]:
         """Tracer status + store stats (GET; retried like any view)."""

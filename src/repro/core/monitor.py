@@ -73,6 +73,7 @@ class Monitor:
         self.hang: Optional[HangDetector] = None
         self.injector = None  # set by attach_injector / ensure_injector
         self.watchdog = None  # set by attach_watchdog / enable_watchdog
+        self.checkpointer = None  # set by attach_checkpointer
         self.tracer = None  # set by attach_tracer / ensure_tracer
         self.sim_metrics: Optional[SimMetrics] = None
         self._server = None  # set by start_server
@@ -194,6 +195,17 @@ class Monitor:
                     "simulation metrics need a registered simulation")
             self.sim_metrics = SimMetrics(self._simulation, self.metrics)
         return self.sim_metrics
+
+    def attach_checkpointer(self, checkpointer) -> None:
+        """Expose *checkpointer* over ``/api/checkpoint`` and give the
+        watchdog its restore escalation: on an unrecoverable hang the
+        watchdog persists one final (restorable) snapshot of the hung
+        state before aborting, so the retry can resume instead of
+        cold-starting.  Replaces (and stops) any previous one."""
+        if self.checkpointer is not None \
+                and self.checkpointer is not checkpointer:
+            self.checkpointer.stop()
+        self.checkpointer = checkpointer
 
     def attach_watchdog(self, watchdog) -> None:
         """Expose *watchdog* over ``/api/watchdog``; replaces (and
@@ -454,6 +466,8 @@ class Monitor:
         self.stop_sampler()
         if self.watchdog is not None:
             self.watchdog.stop()
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
         if self.tracer is not None:
             self.tracer.stop()
         if self.sim_metrics is not None:

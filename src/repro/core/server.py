@@ -274,6 +274,12 @@ class _Handler(JSONRequestHandler):
                     "enabled": watchdog is not None,
                     **(watchdog.to_dict() if watchdog else {}),
                 })
+            elif path == "/api/checkpoint":
+                checkpointer = monitor.checkpointer
+                self._send_json({
+                    "enabled": checkpointer is not None,
+                    **(checkpointer.status() if checkpointer else {}),
+                })
             elif path == "/api/profile":
                 top = _int_param(params, "top", 15)
                 report = monitor.profiler.report(top)
@@ -629,6 +635,18 @@ class _Handler(JSONRequestHandler):
                 self._post_fault(params)
             elif path == "/api/watchdog":
                 self._post_watchdog(params)
+            elif path == "/api/checkpoint":
+                checkpointer = monitor.checkpointer
+                if checkpointer is None:
+                    self._send_error_json(
+                        "no checkpointer attached", 400)
+                elif params.get("action", "save") != "save":
+                    self._send_error_json(
+                        "unknown action (expected save)", 400)
+                else:
+                    saved = checkpointer.save_paused()
+                    self._send_json({"saved": saved,
+                                     **checkpointer.status()})
             elif path == "/api/trace":
                 self._post_trace(params)
             elif path == "/api/metrics":

@@ -23,12 +23,13 @@ only through the monitor's thread-safe surface.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from .atomicio import atomic_write_json
 
 
 @dataclass
@@ -164,6 +165,13 @@ class Watchdog:
             self.report["postmortem_path"] = self._persist(
                 self.report, "watchdog_recovery")
             return
+        # Escalation between recovery and abort: if a checkpointer is
+        # attached, persist one final snapshot of the hung state.  A
+        # hung engine is quiescent, so the snapshot is consistent, and
+        # restoring it revives the comatose components (the loader's
+        # dry-queue kick) — the retry that follows this abort resumes
+        # from here instead of repaying the whole run.
+        self.report["resume_checkpoint"] = self._final_checkpoint()
         self.report["postmortem_path"] = self._persist(
             self.report, "watchdog_postmortem")
         if self.config.abort_on_failure:
@@ -219,6 +227,21 @@ class Watchdog:
                 break
         return ranked
 
+    def _final_checkpoint(self) -> Optional[str]:
+        """One last restorable snapshot of the hung simulation; path on
+        success, ``None`` when no checkpointer is attached or the save
+        was skipped (unpicklable transients — counted by the
+        checkpointer, never fatal here)."""
+        checkpointer = getattr(self.monitor, "checkpointer", None)
+        if checkpointer is None:
+            return None
+        try:
+            if checkpointer.save_paused():
+                return checkpointer.path
+        except Exception:
+            pass  # diagnostics must never take the run down
+        return None
+
     # -- diagnostics ----------------------------------------------------
     def _diagnostic_snapshot(self, status) -> Dict[str, Any]:
         """Everything a human would have read off the dashboard."""
@@ -262,7 +285,10 @@ class Watchdog:
         try:
             directory.mkdir(parents=True, exist_ok=True)
             path = directory / f"{stem}_{self.hang_count}.json"
-            path.write_text(json.dumps(payload, indent=2, default=str))
+            # Atomic: a crash (or a kill -9 racing the watchdog) must
+            # never leave a torn post-mortem — it is the one file an
+            # operator reads after the crash.
+            atomic_write_json(path, payload)
             return str(path)
         except OSError:
             return None  # diagnostics must never take the run down

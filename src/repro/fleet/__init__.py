@@ -38,18 +38,22 @@ Typical campaign::
 """
 
 from .gateway import FleetGateway
+from .journal import CampaignJournal, JournalReplay, replay_journal
 from .manager import FleetManager, WorkerHandle
 from .protocol import CONTROL_PREFIX, FrameDecoder
 from .queue import Job, JobQueue, JobSpec, workload_catalog
 
 __all__ = [
     "CONTROL_PREFIX",
+    "CampaignJournal",
     "FleetGateway",
     "FleetManager",
     "FrameDecoder",
     "Job",
     "JobQueue",
     "JobSpec",
+    "JournalReplay",
     "WorkerHandle",
+    "replay_journal",
     "workload_catalog",
 ]

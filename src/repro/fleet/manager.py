@@ -133,7 +133,8 @@ class FleetManager:
                  worker_args: Optional[List[str]] = None,
                  poll_interval: float = 0.05,
                  snapshot_dir: Optional[str] = None,
-                 max_worker_restarts: Optional[int] = None):
+                 max_worker_restarts: Optional[int] = None,
+                 journal=None):
         if num_workers < 1:
             raise ValueError("need at least one worker slot")
         self.queue = queue
@@ -143,6 +144,14 @@ class FleetManager:
         self.worker_args = list(worker_args or [])
         self.poll_interval = poll_interval
         self.snapshot_dir = snapshot_dir
+        #: Optional :class:`~repro.fleet.journal.CampaignJournal`.  The
+        #: queue's transitions are journaled by the journal's own queue
+        #: observer (attached here, idempotently); the manager adds the
+        #: records only it sees: worker checkpoints and final metric
+        #: expositions.
+        self.journal = journal
+        if journal is not None:
+            journal.attach(queue)
         #: Crashed warm workers replaced over the pool's lifetime.
         self.max_worker_restarts = (num_workers
                                     if max_worker_restarts is None
@@ -154,6 +163,11 @@ class FleetManager:
         #: job_id -> {"worker_id", "attempt", "text"}: final expositions
         #: shipped through the control channel (latest attempt wins).
         self._final_metrics: Dict[str, Dict[str, Any]] = {}
+        #: job_id -> {"path", "attempt", "sim_time", "events"}: the
+        #: last checkpoint each job announced.  A retry of the job is
+        #: dispatched with ``resume_from`` pointing here, so the new
+        #: attempt restarts from the snapshot instead of t=0.
+        self._job_checkpoints: Dict[str, Dict[str, Any]] = {}
         self._events: "queue_module.Queue" = queue_module.Queue()
         self._spawned = 0
         self._restarts_used = 0
@@ -287,6 +301,17 @@ class FleetManager:
             handle.last_progress = {
                 k: event.get(k)
                 for k in ("job_id", "sim_time", "events", "run_state")}
+        elif kind == "checkpoint":
+            job_id = event.get("job_id")
+            if job_id:
+                entry = {"path": event.get("path"),
+                         "attempt": event.get("attempt", 0),
+                         "sim_time": event.get("sim_time"),
+                         "events": event.get("events")}
+                self._job_checkpoints[job_id] = entry
+                if self.journal is not None:
+                    self.journal.append("checkpoint", job_id=job_id,
+                                        **entry)
         elif kind == "final-metrics":
             job_id = event.get("job_id")
             text = event.get("metrics_text") or ""
@@ -296,6 +321,15 @@ class FleetManager:
                     "attempt": event.get("attempt", 0),
                     "text": text,
                 }
+                if self.journal is not None:
+                    # Journaled *before* the (critical, fsync'd) result
+                    # record, so a durable completion implies a durable
+                    # exposition: the resumed campaign's federated
+                    # /metrics names every finished job.
+                    self.journal.append(
+                        "final-metrics", job_id=job_id,
+                        worker_id=handle.worker_id,
+                        attempt=event.get("attempt", 0), text=text)
         elif kind in ("done", "failed"):
             handle.result = event
             self._settle_job(handle, event)
@@ -314,7 +348,8 @@ class FleetManager:
         if event.get("event") == "done" and event.get("ok"):
             summary = {k: event.get(k)
                        for k in ("run_state", "sim_time", "events",
-                                 "fault_stats", "trace")}
+                                 "fault_stats", "trace", "resume",
+                                 "checkpoints")}
             summary["worker_id"] = handle.worker_id
             summary["attempt"] = event.get("attempt", handle.attempt)
             self.queue.complete(job_id, summary)
@@ -412,11 +447,15 @@ class FleetManager:
             handle.job_id = job.spec.job_id
             handle.attempt = job.attempt
             handle.state = "running"  # optimistic; started confirms
-            command = encode_command({
+            payload = {
                 "cmd": "run",
                 "spec": job.spec.to_dict(),
                 "attempt": job.attempt,
-            })
+            }
+            resume_from = self._resume_path(job)
+            if resume_from is not None:
+                payload["resume_from"] = resume_from
+            command = encode_command(payload)
             try:
                 handle.process.stdin.write(command)
                 handle.process.stdin.flush()
@@ -424,6 +463,30 @@ class FleetManager:
                 # The worker died between ready and now; its eof event
                 # is in flight and will requeue this job.
                 pass
+
+    def _resume_path(self, job: Job) -> Optional[str]:
+        """The checkpoint a dispatch of *job* should resume from, or
+        ``None`` for a cold start.  Only retries resume — attempt 0
+        has no history, and a stale checkpoint from a *previous
+        campaign's* identical job id is exactly what the preload path
+        is for, so presence in the map is the single source of truth."""
+        if job.attempt <= 0:
+            return None
+        entry = self._job_checkpoints.get(job.spec.job_id)
+        if not entry:
+            return None
+        return entry.get("path") or None
+
+    def preload_resume(self, replay) -> None:
+        """Prime the caches a resumed campaign needs from a
+        :class:`~repro.fleet.journal.JournalReplay`: per-job final
+        expositions (so the federated ``/metrics`` names jobs that
+        completed *before* the crash) and last-known checkpoints (so
+        requeued jobs resume instead of cold-starting)."""
+        for job_id, entry in replay.final_metrics.items():
+            self._final_metrics.setdefault(job_id, dict(entry))
+        for job_id, entry in replay.checkpoints.items():
+            self._job_checkpoints.setdefault(job_id, dict(entry))
 
     def _dispatch_cold(self) -> None:
         while True:
@@ -470,6 +533,9 @@ class FleetManager:
         argv = [self.python, "-m", "repro.fleet.worker",
                 "--spec", json.dumps(job.spec.to_dict()),
                 "--attempt", str(job.attempt)]
+        resume_from = self._resume_path(job)
+        if resume_from is not None:
+            argv += ["--resume-from", resume_from]
         if self.snapshot_dir is not None:
             argv += ["--snapshot-dir", self.snapshot_dir]
         argv += self.worker_args
@@ -575,4 +641,11 @@ class FleetManager:
             "summary": self.queue.counts(),
             "workers": workers,
             "jobs": self.queue.to_dict(),
+            "checkpoints": {job_id: dict(entry) for job_id, entry
+                            in self._job_checkpoints.items()},
+            "journal": (None if self.journal is None else {
+                "path": self.journal.path,
+                "records_written": self.journal.records_written,
+                "syncs": self.journal.syncs,
+            }),
         }

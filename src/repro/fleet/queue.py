@@ -154,6 +154,23 @@ class JobQueue:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._pending: List[str] = []  # job ids, FIFO
+        #: Transition observers, called as ``fn(event, job)`` *inside*
+        #: the queue's lock — observation order is transition order,
+        #: which is what lets a write-ahead journal record a coherent
+        #: history (a ``complete`` can never be journaled before its
+        #: ``claim``).  Observers must be fast and must not call back
+        #: into the queue.
+        self._observers: List[Any] = []
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(event, job)`` for every transition
+        (``submit`` / ``claim`` / ``complete`` / ``fail`` /
+        ``restore``)."""
+        self._observers.append(observer)
+
+    def _notify(self, event: str, job: "Job") -> None:
+        for observer in self._observers:
+            observer(event, job)
 
     # -- submission ------------------------------------------------------
     def submit(self, spec: JobSpec) -> Job:
@@ -167,10 +184,42 @@ class JobQueue:
             job = Job(spec)
             self._jobs[spec.job_id] = job
             self._pending.append(spec.job_id)
+            self._notify("submit", job)
             return job
 
     def submit_all(self, specs: List[JobSpec]) -> List[Job]:
         return [self.submit(spec) for spec in specs]
+
+    def restore(self, spec: JobSpec, state: str = "queued",
+                attempt: int = 0,
+                workers: Optional[List[str]] = None,
+                result: Optional[Dict[str, Any]] = None,
+                failures: Optional[List[Dict[str, Any]]] = None) -> Job:
+        """Re-admit a job with its pre-crash history (journal resume).
+
+        Unlike :meth:`submit`, the job arrives mid-lifecycle: terminal
+        jobs (``completed`` / ``failed``) are restored terminal and
+        will never be dispatched again; ``queued`` jobs re-enter the
+        FIFO carrying their accumulated attempt count and failure
+        records, so the restart policy picks up exactly where the
+        crashed manager left off.
+        """
+        if state not in ("queued", "completed", "failed"):
+            raise ValueError(
+                f"cannot restore a job in state {state!r} (a crashed "
+                "'running' attempt restores as 'queued')")
+        spec.validate()
+        with self._lock:
+            if spec.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {spec.job_id!r}")
+            job = Job(spec, state=state, attempt=attempt,
+                      workers=list(workers or []), result=result,
+                      failures=list(failures or []))
+            self._jobs[spec.job_id] = job
+            if state == "queued":
+                self._pending.append(spec.job_id)
+            self._notify("restore", job)
+            return job
 
     # -- scheduling ------------------------------------------------------
     def claim(self, worker_id: str) -> Optional[Job]:
@@ -183,6 +232,7 @@ class JobQueue:
             job.state = "running"
             job.worker_id = worker_id
             job.workers.append(worker_id)
+            self._notify("claim", job)
             return job
 
     def complete(self, job_id: str,
@@ -192,6 +242,7 @@ class JobQueue:
             job.state = "completed"
             job.result = result
             job.worker_id = None
+            self._notify("complete", job)
             return job
 
     def fail(self, job_id: str, error: str,
@@ -214,6 +265,7 @@ class JobQueue:
                 self._pending.insert(0, job_id)
             else:
                 job.state = "failed"
+            self._notify("fail", job)
             return job
 
     # -- introspection ---------------------------------------------------

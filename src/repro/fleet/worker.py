@@ -86,12 +86,25 @@ class WorkerSettings:
                  watchdog_interval: float = 0.1,
                  hang_wait: float = 60.0,
                  progress_interval: float = 0.2,
-                 snapshot_dir: Optional[str] = None):
+                 snapshot_dir: Optional[str] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_events: int = 0,
+                 checkpoint_interval: float = 0.0):
         self.stall_threshold = stall_threshold
         self.watchdog_interval = watchdog_interval
         self.hang_wait = hang_wait
         self.progress_interval = progress_interval
         self.snapshot_dir = snapshot_dir
+        #: Where per-job checkpoints are written (``None`` disables
+        #: checkpointing; the cadence below must also be non-zero).
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_events = int(checkpoint_events)
+        self.checkpoint_interval = float(checkpoint_interval)
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint_dir is not None and (
+            self.checkpoint_events > 0 or self.checkpoint_interval > 0)
 
     @classmethod
     def from_args(cls, args: argparse.Namespace) -> "WorkerSettings":
@@ -99,7 +112,10 @@ class WorkerSettings:
                    watchdog_interval=args.watchdog_interval,
                    hang_wait=args.hang_wait,
                    progress_interval=args.progress_interval,
-                   snapshot_dir=args.snapshot_dir)
+                   snapshot_dir=args.snapshot_dir,
+                   checkpoint_dir=args.checkpoint_dir,
+                   checkpoint_events=args.checkpoint_events,
+                   checkpoint_interval=args.checkpoint_interval)
 
 
 def _arm_fault(monitor: Monitor, spec: JobSpec) -> None:
@@ -144,28 +160,83 @@ class _ProgressEmitter:
                   "run_state": simulation.run_state})
 
 
+def _build_platform(spec: JobSpec, resume_from: Optional[str]):
+    """The job's platform: resumed from a checkpoint when one is given
+    and loadable, else built cold.  Returns ``(platform, resume)``
+    where *resume* describes the restore (``None`` = cold start; a
+    failed restore falls back to cold with the error recorded — a
+    stale or damaged checkpoint must cost a cold start, not the job).
+    """
+    workload = spec.build_workload()
+    if resume_from is not None:
+        from ..checkpoint import CheckpointError, load_checkpoint
+        try:
+            platform, header = load_checkpoint(resume_from,
+                                               workload=workload)
+            return platform, {
+                "path": resume_from,
+                "sim_time": platform.engine.now,
+                "events": platform.engine.event_count,
+                "checkpoint_seq": header["meta"].get("checkpoint_seq"),
+            }
+        except CheckpointError as exc:
+            resume = {"path": resume_from, "error": str(exc)}
+            platform = _cold_platform(spec, workload)
+            return platform, resume
+    return _cold_platform(spec, workload), None
+
+
+def _cold_platform(spec: JobSpec, workload) -> GPUPlatform:
+    config = GPUPlatformConfig.small(
+        num_chiplets=spec.chiplets,
+        l2_write_buffer_bug=spec.buggy_l2)
+    platform = GPUPlatform(config)
+    workload.enqueue(platform.driver)
+    return platform
+
+
+def _make_checkpointer(platform: GPUPlatform, spec: JobSpec,
+                       attempt: int, settings: WorkerSettings,
+                       monitor: Monitor):
+    """Per-job checkpoint cadence, announcing each save upstream so
+    the manager can hand the path back as ``resume_from`` on retry."""
+    from ..checkpoint import Checkpointer
+    os.makedirs(settings.checkpoint_dir, exist_ok=True)
+    path = os.path.join(settings.checkpoint_dir, f"{spec.job_id}.rtm")
+
+    def announce(header):
+        meta = header.get("meta", {})
+        emit({"event": "checkpoint", "job_id": spec.job_id,
+              "attempt": attempt, "path": path,
+              "sim_time": meta.get("sim_time"),
+              "events": meta.get("event_count")})
+
+    return Checkpointer(platform, path,
+                        every_events=settings.checkpoint_events,
+                        interval=settings.checkpoint_interval,
+                        meta={"job_id": spec.job_id, "attempt": attempt},
+                        on_save=announce, registry=monitor.metrics)
+
+
 def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
                  settings: WorkerSettings,
-                 abort: Optional["_AbortCurrent"] = None) -> bool:
+                 abort: Optional["_AbortCurrent"] = None,
+                 resume_from: Optional[str] = None) -> bool:
     """Run one job against *server*, emitting the full event sequence
     (``started`` … ``final-metrics`` … ``done``/``failed``).  Returns
     the job's success.
 
     Everything simulation-scoped — platform, monitor, registry,
-    watchdog, tracer — is built fresh here and torn down before
-    returning; only the process and *server* survive into the next
-    call.  That construction-per-job *is* the warm worker's reset.
+    watchdog, tracer, checkpointer — is built fresh here and torn down
+    before returning; only the process and *server* survive into the
+    next call.  That construction-per-job *is* the warm worker's reset.
     """
     emit({"event": "started", "job_id": spec.job_id,
-          "attempt": attempt})
+          "attempt": attempt, "resume_from": resume_from})
     monitor: Optional[Monitor] = None
+    checkpointer = None
     try:
-        workload = spec.build_workload()
-        config = GPUPlatformConfig.small(
-            num_chiplets=spec.chiplets,
-            l2_write_buffer_bug=spec.buggy_l2)
-        platform = GPUPlatform(config)
-        workload.enqueue(platform.driver)
+        platform, resume = _build_platform(spec, resume_from)
         if abort is not None:
             # Expose the in-flight platform to the signal handler for
             # the duration of this job only.
@@ -179,23 +250,43 @@ def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
         # The process-lifetime server now fronts this job's monitor:
         # the dashboard URL spans jobs, the simulation behind it is new.
         server.rebind(monitor)
+        if settings.checkpointing:
+            checkpointer = _make_checkpointer(platform, spec, attempt,
+                                              settings, monitor)
+            monitor.attach_checkpointer(checkpointer)
+            checkpointer.start()
         monitor.enable_watchdog(
             check_interval=settings.watchdog_interval,
             max_tick_retries=1,
             retry_wait=settings.watchdog_interval,
             snapshot_dir=settings.snapshot_dir)
-        if spec.fault is not None and attempt < spec.fault_attempts:
+        if spec.fault is not None and attempt < spec.fault_attempts \
+                and (resume is None or "error" in resume):
+            # A resumed attempt never re-arms its fault: the snapshot
+            # already carries whatever damage the fault did, and the
+            # retry exists to finish the job, not re-break it.
             _arm_fault(monitor, spec)
         if spec.trace:
             monitor.ensure_tracer(backend="ring").start()
         # Instrument from t=0 so the federated scrape carries the whole
         # run, not just whatever happened after the first scrape.
         monitor.ensure_sim_metrics().start()
+        if resume is not None and "error" not in resume:
+            monitor.metrics.counter(
+                "rtm_job_resumes_total",
+                "Attempts restarted from a checkpoint instead of t=0."
+            ).inc()
+            monitor.metrics.gauge(
+                "rtm_job_resume_sim_time",
+                "Virtual time this attempt resumed from."
+            ).set(float(resume["sim_time"]))
     except Exception as exc:  # bad build: report, stay alive
         emit({"event": "failed", "job_id": spec.job_id,
               "attempt": attempt, "ok": False, "run_state": "rejected",
               "error": f"{type(exc).__name__}: {exc}",
               "watchdog": None, "fault_stats": {}, "trace": None})
+        if checkpointer is not None:
+            checkpointer.stop()
         if monitor is not None:
             _teardown(monitor)
         return False
@@ -209,12 +300,16 @@ def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
               "attempt": attempt, "ok": False, "run_state": "crashed",
               "error": f"{type(exc).__name__}: {exc}",
               "watchdog": None, "fault_stats": {}, "trace": None})
+        if checkpointer is not None:
+            checkpointer.stop()
         _teardown(monitor)
         return False
     finally:
         if abort is not None:
             abort.platform = None
 
+    if checkpointer is not None:
+        checkpointer.stop()
     watchdog_report = (monitor.watchdog.report
                        if monitor.watchdog is not None else None)
     injector = monitor.injector
@@ -229,6 +324,9 @@ def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
         "watchdog": watchdog_report,
         "fault_stats": injector.stats() if injector is not None else {},
         "trace": tracer.status() if tracer is not None else None,
+        "resume": resume,
+        "checkpoints": (checkpointer.status()
+                        if checkpointer is not None else None),
     }
     # Final exposition first (see module docstring: the gateway's
     # per-job cache must be complete before the job goes terminal).
@@ -334,7 +432,8 @@ def serve(worker_id: str, settings: WorkerSettings,
                 ready()
                 continue
             ok = _execute_job(spec, attempt, server, settings,
-                              abort=abort)
+                              abort=abort,
+                              resume_from=command.get("resume_from"))
             if ok:
                 jobs_done += 1
             if abort.requested:
@@ -346,7 +445,8 @@ def serve(worker_id: str, settings: WorkerSettings,
 
 
 def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
-               settings: Optional[WorkerSettings] = None) -> int:
+               settings: Optional[WorkerSettings] = None,
+               resume_from: Optional[str] = None) -> int:
     """One-shot mode: run a single job to completion in this process;
     returns the exit code.  (The cold fleet's unit of dispatch, and the
     warm-vs-cold benchmark's baseline.)"""
@@ -359,7 +459,8 @@ def run_worker(spec: JobSpec, attempt: int = 0, port: int = 0,
     emit({"event": "ready", "worker_id": None, "pid": os.getpid(),
           "url": server.url, "port": server.port, "jobs_done": 0})
     try:
-        ok = _execute_job(spec, attempt, server, settings, abort=abort)
+        ok = _execute_job(spec, attempt, server, settings, abort=abort,
+                          resume_from=resume_from)
     finally:
         server.stop()
     return 0 if ok else 1
@@ -384,6 +485,16 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--hang-wait", type=float, default=60.0)
     parser.add_argument("--progress-interval", type=float, default=0.2)
     parser.add_argument("--snapshot-dir", default=None)
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="write per-job checkpoints here (enables "
+                             "resume-from-checkpoint retries)")
+    parser.add_argument("--checkpoint-events", type=int, default=0,
+                        help="checkpoint every N simulation events")
+    parser.add_argument("--checkpoint-interval", type=float, default=0.0,
+                        help="checkpoint every T wall seconds")
+    parser.add_argument("--resume-from", default=None,
+                        help="one-shot mode: restore this checkpoint "
+                             "instead of starting at t=0")
     return parser.parse_args(argv)
 
 
@@ -402,7 +513,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               "fault_stats": {}, "trace": None})
         return 2
     return run_worker(spec, attempt=args.attempt, port=args.port,
-                      settings=settings)
+                      settings=settings, resume_from=args.resume_from)
 
 
 if __name__ == "__main__":  # pragma: no cover - subprocess entry

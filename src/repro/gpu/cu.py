@@ -21,18 +21,50 @@ from .protocol import MapWGMsg, WGCompleteMsg
 
 
 class _Wavefront:
-    """Execution state of one resident wavefront."""
+    """Execution state of one resident wavefront.
 
-    __slots__ = ("wg", "ops", "current_op", "compute_left", "outstanding",
-                 "finished")
+    ``ops`` is a live generator and cannot be pickled; instead the
+    wavefront remembers its identity (``wf_id``) and how many ops it
+    consumed.  Workload programs are deterministic (no ``random``), so
+    a restored wavefront regenerates the same op stream and fast-
+    forwards to where it left off — see :meth:`rehydrate`.
+    """
 
-    def __init__(self, wg: "_WorkGroup", ops: Iterator):
+    __slots__ = ("wg", "ops", "wf_id", "ops_consumed", "current_op",
+                 "compute_left", "outstanding", "finished")
+
+    def __init__(self, wg: "_WorkGroup", wf_id: int, ops: Iterator):
         self.wg = wg
         self.ops = ops
+        self.wf_id = wf_id
+        self.ops_consumed = 0
         self.current_op: Optional[tuple] = None
         self.compute_left = 0
         self.outstanding = 0
         self.finished = False
+
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot)
+                for slot in self.__slots__ if slot != "ops"}
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            setattr(self, key, value)
+        self.ops = None  # rehydrated lazily on first advance
+
+    def rehydrate(self) -> Iterator:
+        """Rebuild the op stream after a checkpoint restore."""
+        program = self.wg.kernel.descriptor.program
+        if program is None:
+            raise RuntimeError(
+                f"wavefront wg={self.wg.wg_id} wf={self.wf_id}: kernel "
+                f"{self.wg.kernel.descriptor.name!r} has no program "
+                "installed (restore the checkpoint with its workload)")
+        ops = iter(program(self.wg.wg_id, self.wf_id))
+        for _ in range(self.ops_consumed):
+            next(ops, None)
+        self.ops = ops
+        return ops
 
 
 class _WorkGroup:
@@ -113,7 +145,7 @@ class ComputeUnit(TickingComponent):
             program = msg.kernel.descriptor.program
             for wf_id in range(num_wfs):
                 ops = iter(program(msg.wg_id, wf_id))
-                self.wavefronts.append(_Wavefront(wg, ops))
+                self.wavefronts.append(_Wavefront(wg, wf_id, ops))
             if self._hooks:
                 self.task_begin((wg.launch_id, wg.wg_id), "workgroup",
                                 f"wg[{wg.wg_id}]x{num_wfs}wf")
@@ -159,7 +191,12 @@ class ComputeUnit(TickingComponent):
             wf.compute_left -= 1
             return True
         if wf.current_op is None:
-            wf.current_op = next(wf.ops, None)
+            ops = wf.ops
+            if ops is None:  # first advance after a checkpoint restore
+                ops = wf.rehydrate()
+            wf.current_op = next(ops, None)
+            if wf.current_op is not None:
+                wf.ops_consumed += 1
             if wf.current_op is None:
                 if wf.outstanding == 0:
                     wf.finished = True

@@ -38,6 +38,18 @@ class KernelDescriptor:
         if self.num_workgroups <= 0 or self.wavefronts_per_wg <= 0:
             raise ValueError("kernel grid dimensions must be positive")
 
+    def __getstate__(self) -> dict:
+        """Checkpoints drop the program: it is a (usually nested)
+        generator function.  :func:`repro.checkpoint.load_checkpoint`
+        reinstalls it from the workload by kernel name."""
+        state = self.__dict__.copy()
+        state["program"] = None
+        return state
+
+    def install_program(self, program: ProgramFn) -> None:
+        """Reattach *program* after a restore (frozen-dataclass safe)."""
+        object.__setattr__(self, "program", program)
+
 
 @dataclass
 class KernelState:

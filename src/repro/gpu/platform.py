@@ -126,6 +126,58 @@ class GPUPlatformConfig:
         return cls(**params)
 
 
+class _AllDone:
+    """Picklable completion check: every driver command finished.
+
+    The completion predicate travels inside checkpoints (it is part of
+    the simulated system's semantics), so it must be a plain object
+    rather than a lambda closing over the platform.
+    """
+
+    __slots__ = ("driver",)
+
+    def __init__(self, driver: Driver):
+        self.driver = driver
+
+    def __call__(self) -> bool:
+        return self.driver.all_done
+
+
+class _ChipletRoute:
+    """Routes an address to the local L2 bank or the RDMA engine.
+
+    Replaces the nested ``route`` closure so cache route tables — and
+    with them the whole platform graph — stay picklable.
+    """
+
+    __slots__ = ("mapper", "chiplet_id", "l2_tops", "rdma_port")
+
+    def __init__(self, mapper: AddressMapper, chiplet_id: int,
+                 l2_tops: List[Port], rdma_port: Port):
+        self.mapper = mapper
+        self.chiplet_id = chiplet_id
+        self.l2_tops = l2_tops
+        self.rdma_port = rdma_port
+
+    def __call__(self, addr: int) -> Port:
+        if self.mapper.is_local(addr, self.chiplet_id):
+            return self.l2_tops[self.mapper.bank_of(addr)]
+        return self.rdma_port
+
+
+class _BankRoute:
+    """Routes a local address to its owning L2 bank (RDMA ingress)."""
+
+    __slots__ = ("mapper", "l2_tops")
+
+    def __init__(self, mapper: AddressMapper, l2_tops: List[Port]):
+        self.mapper = mapper
+        self.l2_tops = l2_tops
+
+    def __call__(self, addr: int) -> Port:
+        return self.l2_tops[self.mapper.bank_of(addr)]
+
+
 class Chiplet:
     """Handles to one built GPU chiplet's components."""
 
@@ -190,7 +242,7 @@ class GPUPlatform:
             self.chiplets.append(chiplet)
 
         self._wire_network()
-        sim.set_completion_check(lambda: self.driver.all_done)
+        sim.set_completion_check(_AllDone(self.driver))
 
     def _build_chiplet(self, i: int,
                        driver_conn: DirectConnection) -> Chiplet:
@@ -278,13 +330,7 @@ class GPUPlatform:
 
         # -- shader arrays ------------------------------------------------
         l2_tops = [l2.top_port for l2 in chiplet.l2s]
-
-        def route(addr: int, chiplet_id: int = i,
-                  l2_tops: List[Port] = l2_tops,
-                  rdma_port: Port = rdma.l1_port) -> Port:
-            if self.mapper.is_local(addr, chiplet_id):
-                return l2_tops[self.mapper.bank_of(addr)]
-            return rdma_port
+        route = _ChipletRoute(self.mapper, i, l2_tops, rdma.l1_port)
 
         for j in range(cfg.sas_per_gpu):
             sa = join(gpu, indexed("SA", j))
@@ -298,8 +344,7 @@ class GPUPlatform:
         rdma.connect(
             switch_port=self.switch.switch_port(i),
             remote_ports={},  # filled in _wire_network
-            bank_route=lambda addr, tops=l2_tops:
-                tops[self.mapper.bank_of(addr)],
+            bank_route=_BankRoute(self.mapper, l2_tops),
             chiplet_of=self.mapper.chiplet_of,
         )
         return chiplet

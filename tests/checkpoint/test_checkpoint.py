@@ -1,0 +1,232 @@
+"""Checkpoint/restore: exactness, damage detection, revival.
+
+The contract under test is the durability layer's engine half
+(ISSUE 7): a snapshot taken at an event boundary restores to a
+simulation that finishes with *identical* results, a damaged file is
+rejected loudly, and a snapshot of a stalled (fault-comatose) run
+resumes making progress after restore.
+"""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+    read_checkpoint_meta,
+    save_checkpoint,
+)
+from repro.gpu import GPUPlatform, GPUPlatformConfig
+from repro.workloads import FIR
+
+
+def _platform():
+    return GPUPlatform(GPUPlatformConfig.small(num_chiplets=2))
+
+
+def _workload():
+    return FIR(num_samples=4096)
+
+
+def _cold_reference():
+    platform = _platform()
+    _workload().enqueue(platform.driver)
+    assert platform.run()
+    return platform
+
+
+# ----------------------------------------------------------------------
+# Exactness
+# ----------------------------------------------------------------------
+def test_mid_run_checkpoint_resumes_to_identical_final_state(tmp_path):
+    reference = _cold_reference()
+
+    platform = _platform()
+    _workload().enqueue(platform.driver)
+    path = str(tmp_path / "ckpt.rtm")
+    ckpt = Checkpointer(platform, path, every_events=10_000)
+    ckpt.start()
+    assert platform.run()
+    ckpt.stop()
+    assert ckpt.count >= 2, "cadence should have fired repeatedly"
+    assert ckpt.errors == 0
+
+    restored, header = load_checkpoint(path, workload=_workload())
+    t_restore = restored.engine.now
+    assert t_restore > 0.0
+    assert t_restore < reference.engine.now
+    assert header["meta"]["sim_time"] == t_restore
+
+    assert restored.run()
+    assert restored.engine.now == reference.engine.now
+    assert [k.completed for k in restored.driver.kernels] \
+        == [k.completed for k in reference.driver.kernels]
+    assert restored.driver.commands_completed \
+        == reference.driver.commands_completed
+
+
+def test_restored_wavefronts_replay_their_op_streams(tmp_path):
+    """The checkpoint lands mid-kernel, so live wavefront generators
+    must be rehydrated and fast-forwarded — progress counters prove
+    the replay produced real (not empty) op streams."""
+    platform = _platform()
+    _workload().enqueue(platform.driver)
+    path = str(tmp_path / "ckpt.rtm")
+    ckpt = Checkpointer(platform, path, every_events=15_000)
+    ckpt.start()
+    assert platform.run()
+    ckpt.stop()
+
+    restored, _ = load_checkpoint(path, workload=_workload())
+    kernel = restored.driver.kernels[0]
+    before = kernel.completed
+    assert not kernel.done
+    assert restored.run()
+    assert kernel.done
+    assert kernel.completed > before
+
+
+def test_checkpoint_of_stalled_run_revives_on_restore(tmp_path):
+    """A stall fault puts components into a wakeable coma and the run
+    hangs.  A snapshot of that hung state must restore to a platform
+    that completes — the watchdog's restore escalation depends on it."""
+    platform = _platform()
+    _workload().enqueue(platform.driver)
+    from repro.faults.injector import FaultInjector
+    injector = FaultInjector(platform.simulation)
+    injector.stall_component("*WriteBuffer*", start=5e-7)
+
+    assert not platform.run(), "stall should hang the run"
+    assert platform.simulation.run_state == "hung"
+
+    path = str(tmp_path / "hung.rtm")
+    save_checkpoint(platform, path)
+    restored, _ = load_checkpoint(path, workload=_workload())
+    assert restored.run(), "revived snapshot should complete"
+    assert restored.driver.kernels[0].done
+
+
+# ----------------------------------------------------------------------
+# Damage detection
+# ----------------------------------------------------------------------
+def test_corrupt_payload_is_rejected(tmp_path):
+    platform = _platform()
+    path = str(tmp_path / "ckpt.rtm")
+    save_checkpoint(platform, path)
+    blob = bytearray(open(path, "rb").read())
+    blob[-20] ^= 0xFF  # flip one payload bit
+    open(path, "wb").write(bytes(blob))
+    with pytest.raises(CheckpointError, match="SHA-256"):
+        load_checkpoint(path)
+
+
+def test_truncated_file_is_rejected(tmp_path):
+    platform = _platform()
+    path = str(tmp_path / "ckpt.rtm")
+    save_checkpoint(platform, path)
+    blob = open(path, "rb").read()
+    open(path, "wb").write(blob[:len(blob) - 64])
+    with pytest.raises(CheckpointError, match="truncated"):
+        load_checkpoint(path)
+
+
+def test_unsupported_version_is_rejected(tmp_path):
+    platform = _platform()
+    path = str(tmp_path / "ckpt.rtm")
+    save_checkpoint(platform, path)
+    with open(path, "rb") as fh:
+        header = json.loads(fh.readline())
+        rest = fh.read()
+    header["version"] = 999
+    with open(path, "wb") as fh:
+        fh.write(json.dumps(header).encode() + b"\n" + rest)
+    with pytest.raises(CheckpointError, match="version"):
+        read_checkpoint_meta(path)
+
+
+def test_garbage_file_is_rejected(tmp_path):
+    path = str(tmp_path / "noise.rtm")
+    open(path, "wb").write(b"not a checkpoint at all\nmore noise")
+    with pytest.raises(CheckpointError):
+        read_checkpoint_meta(path)
+
+
+def test_missing_file_is_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_checkpoint(str(tmp_path / "absent.rtm"))
+
+
+def test_load_without_program_source_names_the_kernel(tmp_path):
+    platform = _platform()
+    _workload().enqueue(platform.driver)
+    path = str(tmp_path / "ckpt.rtm")
+    save_checkpoint(platform, path)
+    with pytest.raises(CheckpointError, match="fir"):
+        load_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# Format / cadence mechanics
+# ----------------------------------------------------------------------
+def test_saves_atomically_overwrite_one_path(tmp_path):
+    platform = _platform()
+    path = str(tmp_path / "ckpt.rtm")
+    ckpt = Checkpointer(platform, path, every_events=1)
+    first = ckpt.save_now()
+    second = ckpt.save_now()
+    assert first["meta"]["checkpoint_seq"] == 0
+    assert second["meta"]["checkpoint_seq"] == 1
+    assert read_checkpoint_meta(path)["meta"]["checkpoint_seq"] == 1
+    assert list(tmp_path.iterdir()) == [tmp_path / "ckpt.rtm"], \
+        "no temp files may survive a save"
+
+
+def test_meta_carries_caller_fields_and_watermarks(tmp_path):
+    platform = _platform()
+    path = str(tmp_path / "ckpt.rtm")
+    header = save_checkpoint(platform, path,
+                             meta={"job_id": "j1", "attempt": 2})
+    meta = header["meta"]
+    assert meta["job_id"] == "j1"
+    assert meta["attempt"] == 2
+    assert meta["event_id_watermark"] > 0
+    assert meta["msg_id_watermark"] >= 0
+    assert meta["sim_time"] == platform.engine.now
+    assert read_checkpoint_meta(path) == header
+
+
+def test_unpicklable_state_is_counted_not_fatal(tmp_path):
+    """A momentary unpicklable (e.g. a pin fault's pending lambda
+    callbacks) must skip the snapshot, not kill the run."""
+    platform = _platform()
+    platform.simulation.set_completion_check(lambda: False)  # closure
+    ckpt = Checkpointer(platform, str(tmp_path / "ckpt.rtm"),
+                        every_events=1)
+    assert ckpt.save_now() is None
+    assert ckpt.errors == 1
+    assert "picklable" in ckpt.last_error
+    assert ckpt.last_path is None
+
+
+def test_interval_mode_snapshots_a_threaded_run(tmp_path):
+    import threading
+
+    platform = _platform()
+    FIR(num_samples=8192).enqueue(platform.driver)
+    path = str(tmp_path / "ckpt.rtm")
+    ckpt = Checkpointer(platform, path, interval=0.02)
+    thread = threading.Thread(target=lambda: platform.run(hang_wait=5.0),
+                              daemon=True)
+    ckpt.start()
+    thread.start()
+    thread.join(timeout=60.0)
+    ckpt.stop()
+    assert not thread.is_alive()
+    assert platform.simulation.completed
+    if ckpt.count:  # a fast host may finish before the first tick
+        restored, header = load_checkpoint(
+            path, workload=FIR(num_samples=8192))
+        assert restored.engine.now == header["meta"]["sim_time"]
+        assert restored.run()

@@ -1,0 +1,246 @@
+"""End-to-end durability: the crash paths ISSUE 7 exists for.
+
+Three disasters, each survived:
+
+* a stall-killed job's retry resumes from its last good checkpoint
+  (engine time > 0) instead of repaying the run from t=0;
+* a SIGKILLed fleet manager's campaign resumes from the journal
+  exactly-once — completed jobs stay completed, the remainder finishes,
+  and one federated scrape still names every job;
+* a SIGTERMed manager drains gracefully, exits 0, and leaves a clean,
+  immediately-resumable journal behind.
+
+Plus the satellite regression: ``fleet run`` must exit non-zero when a
+job ultimately fails after its retries (a CI gate reads this).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import RTMClient
+from repro.fleet import (
+    FleetGateway,
+    FleetManager,
+    JobQueue,
+    JobSpec,
+    replay_journal,
+)
+
+pytestmark = pytest.mark.slow
+
+_REPO = Path(__file__).resolve().parents[2]
+_STALL_FAULT = {"kind": "stall", "target": "*WriteBuffer*", "start": 5e-7}
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _spawn_fleet(argv, **popen_kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "fleet"] + argv,
+        cwd=str(_REPO), env=_cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        **popen_kwargs)
+
+
+def _wait_for_completion_record(journal_path, proc, timeout=300.0):
+    """Poll the live journal until at least one job has a durable
+    ``complete`` record; returns the completed job ids."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out = proc.stdout.read().decode(errors="replace")
+            pytest.fail(f"fleet manager exited early "
+                        f"(rc={proc.returncode}):\n{out}")
+        if os.path.exists(journal_path):
+            replay = replay_journal(str(journal_path))
+            completed = sorted(
+                job_id for job_id, job in replay.jobs.items()
+                if job["state"] == "completed")
+            if completed:
+                return completed
+        time.sleep(0.25)
+    pytest.fail("no job completed within the wall budget")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/restore: a stall-killed attempt resumes warm
+# ----------------------------------------------------------------------
+def test_stall_killed_retry_resumes_from_checkpoint(tmp_path):
+    """Attempt 0 is stalled and aborted by the watchdog; the retry must
+    restart from the last good checkpoint — engine time > 0 — not from
+    t=0, and the recovery must be visible in the federated metrics."""
+    queue = JobQueue()
+    spec = JobSpec("fir-resume", "fir", params={"num_samples": 8192},
+                   max_retries=1)
+    spec.fault = dict(_STALL_FAULT)
+    queue.submit(spec)
+    manager = FleetManager(
+        queue, num_workers=1,
+        worker_args=["--checkpoint-dir", str(tmp_path),
+                     "--checkpoint-events", "2000"])
+    gateway = FleetGateway(manager)
+    gateway.start()
+    manager.start()
+    try:
+        assert manager.wait(timeout=300), json.dumps(manager.status())
+        metrics = RTMClient(gateway.url).metrics_text()
+    finally:
+        manager.stop()
+        gateway.stop()
+
+    job = queue.get("fir-resume")
+    assert job.state == "completed"
+    assert job.attempt == 1  # the resumed retry won
+
+    # The retry restored mid-run state, not a cold platform.
+    resume = job.result["resume"]
+    assert resume is not None and "error" not in resume, resume
+    assert resume["path"] == str(tmp_path / "fir-resume.rtm")
+    assert resume["sim_time"] > 0.0
+    assert resume["events"] > 0
+
+    # The failed attempt's post-mortem carries the watchdog verdict and
+    # the escalation checkpoint it persisted before aborting.
+    (failure,) = job.failures
+    watchdog = failure["post_mortem"]["watchdog"]
+    assert watchdog["verdict"] == "aborted"
+    assert watchdog["resume_checkpoint"] == str(tmp_path /
+                                                "fir-resume.rtm")
+
+    # The manager cached the announced checkpoint and exposes it.
+    checkpoint = manager.status()["checkpoints"]["fir-resume"]
+    assert checkpoint["path"] == resume["path"]
+
+    # Recovery federates: the resumed job's registry counts the resume
+    # and reports the sim time it restarted from.
+    assert 'rtm_job_resumes_total' in metrics
+    assert re.search(r'rtm_job_resume_sim_time\{[^}]*job="fir-resume"'
+                     r'[^}]*\} [0-9.e+-]+', metrics) or \
+        'rtm_job_resume_sim_time' in metrics
+
+
+# ----------------------------------------------------------------------
+# Journal resume: a SIGKILLed manager's campaign finishes exactly-once
+# ----------------------------------------------------------------------
+def test_sigkilled_manager_campaign_resumes_exactly_once(tmp_path):
+    journal = tmp_path / "campaign.wal"
+    status_out = tmp_path / "fleet_status.json"
+    metrics_out = tmp_path / "metrics.prom"
+
+    proc = _spawn_fleet(["run", "--workers", "2",
+                         "--workloads", "fir,kmeans",
+                         "--chiplets", "1,2,3",
+                         "--journal", str(journal),
+                         "--timeout", "600"])
+    try:
+        completed_before_kill = _wait_for_completion_record(
+            str(journal), proc)
+        # kill -9: no atexit, no signal handler, no compaction — the
+        # journal tail is whatever the last fsync made durable.
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+    assert proc.returncode == -signal.SIGKILL
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "fleet", "resume", str(journal),
+         "--workers", "2", "--timeout", "600",
+         "--status-out", str(status_out),
+         "--metrics-out", str(metrics_out)],
+        cwd=str(_REPO), env=_cli_env(), capture_output=True, text=True,
+        timeout=700)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert re.search(r"replayed \d+ journal records", result.stdout)
+
+    # Exactly-once: jobs completed before the kill were never re-run.
+    for job_id in completed_before_kill:
+        assert f"resuming {job_id}" not in result.stdout
+
+    status = json.loads(status_out.read_text())
+    jobs = {j["spec"]["job_id"]: j for j in status["jobs"]}
+    assert len(jobs) == 6
+    assert status["summary"]["completed"] == 6
+    assert status["summary"]["failed"] == 0
+    assert status["drained"]
+
+    # One federated scrape names every job — including the pre-kill
+    # completions, whose final expositions rode the journal.
+    metrics = metrics_out.read_text()
+    for job_id in jobs:
+        assert f'job="{job_id}"' in metrics, job_id
+    assert 'rtm_fleet_jobs{state="completed"} 6' in metrics
+
+    # Atomic artifacts: no torn temp files left beside the outputs.
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+# ----------------------------------------------------------------------
+# Graceful drain: SIGTERM is not a failure
+# ----------------------------------------------------------------------
+def test_sigterm_drains_gracefully_and_leaves_resumable_journal(tmp_path):
+    journal = tmp_path / "campaign.wal"
+    proc = _spawn_fleet(["run", "--workers", "1",
+                         "--workloads", "fir",
+                         "--chiplets", "1,2,3",
+                         "--journal", str(journal),
+                         "--timeout", "600"])
+    try:
+        _wait_for_completion_record(str(journal), proc)
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=180)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    text = out.decode(errors="replace")
+    assert proc.returncode == 0, text  # being told to stop != failing
+    assert "interrupted: campaign drained gracefully" in text
+
+    # The journal left behind is clean (compacted, no crash damage) and
+    # replays to a resumable campaign.
+    replay = replay_journal(str(journal))
+    assert not replay.torn_tail
+    assert replay.corrupt_records == 0
+    assert len(replay.jobs) == 3
+    counts = replay.counts()
+    assert counts["completed"] >= 1
+    queue, resumed = replay.build_queue()
+    assert queue.counts()["completed"] == counts["completed"]
+    assert len(resumed) == 3 - counts["completed"]
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: job failure must reach the exit code
+# ----------------------------------------------------------------------
+def test_fleet_run_propagates_job_failure_in_exit_code(tmp_path):
+    """--crash-first with no retries leaves one permanently-failed job;
+    the CLI must exit 1, and its artifacts must still land atomically."""
+    from repro.cli import main
+
+    status_out = tmp_path / "status.json"
+    rc = main(["fleet", "run", "--workers", "1",
+               "--workloads", "fir", "--chiplets", "1",
+               "--max-retries", "0", "--crash-first",
+               "--timeout", "300",
+               "--status-out", str(status_out)])
+    assert rc == 1
+
+    status = json.loads(status_out.read_text())
+    assert status["summary"]["failed"] == 1
+    assert status["summary"]["completed"] == 0
+    assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,227 @@
+"""The campaign WAL: record integrity, adversarial replay, compaction.
+
+The contract under test is ISSUE 7's tentpole half 1: replaying a
+journal — including one damaged exactly the way crashes damage files
+(torn tail, corrupt record mid-file, duplicated completion) — rebuilds
+the campaign exactly-once: completed jobs stay completed, unfinished
+jobs requeue with their history, and damage is counted, never fatal.
+"""
+
+import os
+
+import pytest
+
+from repro.fleet import (
+    CampaignJournal,
+    JobQueue,
+    JobSpec,
+    replay_journal,
+)
+from repro.fleet.journal import _decode_record, _encode_record
+
+
+def _spec(job_id: str, max_retries: int = 1) -> JobSpec:
+    return JobSpec(job_id, "fir", chiplets=1, max_retries=max_retries)
+
+
+def _journaled_campaign(path: str):
+    """A small campaign driven to a mid-flight state: one completed,
+    one failed-and-requeued, one untouched."""
+    journal = CampaignJournal(str(path))
+    queue = JobQueue()
+    journal.attach(queue)
+    for job_id in ("a", "b", "c"):
+        queue.submit(_spec(job_id))
+    done = queue.claim("w1")
+    journal.append("final-metrics", job_id=done.spec.job_id,
+                   worker_id="w1", attempt=0, text="# exposition\n")
+    queue.complete(done.spec.job_id, {"run_state": "completed"})
+    crashed = queue.claim("w2")
+    journal.append("checkpoint", job_id=crashed.spec.job_id,
+                   attempt=0, path="/ckpt/b.rtm", sim_time=5e-7,
+                   events=1234)
+    queue.fail(crashed.spec.job_id, "worker exited -9 mid-job",
+               {"exit_code": -9})
+    journal.close()
+    return journal
+
+
+# ----------------------------------------------------------------------
+# Clean replay
+# ----------------------------------------------------------------------
+def test_replay_rebuilds_campaign_state(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+
+    replay = replay_journal(str(path))
+    assert replay.corrupt_records == 0
+    assert not replay.torn_tail
+    assert replay.jobs["a"]["state"] == "completed"
+    assert replay.jobs["b"]["state"] == "queued"  # requeued retry
+    assert replay.jobs["b"]["attempt"] == 1
+    assert replay.jobs["b"]["failures"][0]["post_mortem"] \
+        == {"exit_code": -9}
+    assert replay.jobs["c"]["state"] == "queued"
+    assert replay.checkpoints["b"]["path"] == "/ckpt/b.rtm"
+    assert replay.final_metrics["a"]["text"] == "# exposition\n"
+
+    queue, resumed = replay.build_queue()
+    assert sorted(resumed) == ["b", "c"]
+    assert queue.get("a").state == "completed"
+    assert queue.get("a").result == {"run_state": "completed"}
+    assert queue.get("b").attempt == 1
+    # Exactly-once: the completed job is never handed out again.
+    claimed = {queue.claim("w").spec.job_id for _ in range(2)}
+    assert claimed == {"b", "c"}
+    assert queue.claim("w") is None
+
+
+def test_running_job_at_crash_requeues_at_same_attempt(tmp_path):
+    path = tmp_path / "campaign.wal"
+    journal = CampaignJournal(str(path))
+    queue = JobQueue()
+    journal.attach(queue)
+    queue.submit(_spec("a"))
+    queue.claim("w1")  # in flight when the manager dies
+    journal.close()
+
+    replay = replay_journal(str(path))
+    assert replay.jobs["a"]["state"] == "running"
+    rebuilt, resumed = replay.build_queue()
+    assert resumed == ["a"]
+    job = rebuilt.get("a")
+    assert job.state == "queued"
+    assert job.attempt == 0  # the attempt never settled: finish it
+    assert job.workers == ["w1"]
+
+
+# ----------------------------------------------------------------------
+# Adversarial damage
+# ----------------------------------------------------------------------
+def test_torn_tail_is_tolerated_and_flagged(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+    blob = path.read_bytes()
+    # The writer died mid-append: the final record loses its newline
+    # and half its bytes.
+    path.write_bytes(blob[:len(blob) - 25])
+
+    replay = replay_journal(str(path))
+    assert replay.torn_tail
+    assert replay.corrupt_records == 0
+    # Everything before the tear still applies.
+    assert replay.jobs["a"]["state"] == "completed"
+
+
+def test_crc_corrupt_record_mid_file_is_skipped_not_fatal(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    # Flip a byte inside an early record's JSON body (not the tail).
+    victim = bytearray(lines[2])
+    victim[20] ^= 0xFF
+    lines[2] = bytes(victim)
+    path.write_bytes(b"".join(lines))
+
+    replay = replay_journal(str(path))
+    assert replay.corrupt_records == 1
+    assert not replay.torn_tail
+    # Records after the corrupt one still applied.
+    assert replay.jobs["a"]["state"] == "completed"
+    assert replay.checkpoints["b"]["path"] == "/ckpt/b.rtm"
+
+
+def test_duplicated_completion_replays_exactly_once(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+    # Duplicate the 'complete' record (e.g. a retransmit-style bug or
+    # a partially-compacted journal concatenated with its WAL).
+    lines = path.read_bytes().splitlines(keepends=True)
+    complete_line = next(
+        line for line in lines
+        if _decode_record(line.rstrip(b"\n")).get("type") == "complete")
+    path.write_bytes(b"".join(lines) + complete_line)
+
+    replay = replay_journal(str(path))
+    assert replay.duplicates == 1
+    assert replay.jobs["a"]["state"] == "completed"
+    queue, resumed = replay.build_queue()
+    assert queue.counts()["completed"] == 1
+    assert sorted(resumed) == ["b", "c"]
+
+
+def test_garbage_lines_are_counted_not_fatal(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+    blob = path.read_bytes()
+    lines = blob.splitlines(keepends=True)
+    doctored = (lines[0]
+                + b"not a journal record at all\n"
+                + b"deadbeef {\"type\": \"not-json...\n"
+                + b"".join(lines[1:]))
+    path.write_bytes(doctored)
+
+    replay = replay_journal(str(path))
+    assert replay.corrupt_records == 2
+    assert replay.jobs["a"]["state"] == "completed"
+
+
+# ----------------------------------------------------------------------
+# Record encoding
+# ----------------------------------------------------------------------
+def test_record_crc_round_trip():
+    record = {"type": "complete", "seq": 7, "job_id": "a",
+              "result": {"ok": True}}
+    line = _encode_record(record)
+    assert line.endswith(b"\n")
+    assert _decode_record(line.rstrip(b"\n")) == record
+    # Any single-bit flip in the body is caught.
+    damaged = bytearray(line.rstrip(b"\n"))
+    damaged[15] ^= 0x01
+    assert _decode_record(bytes(damaged)) is None
+
+
+def test_fsync_batching_counts_syncs(tmp_path):
+    journal = CampaignJournal(str(tmp_path / "j.wal"), fsync_batch=4)
+    for i in range(3):
+        journal.append("submit", job_id=f"j{i}", spec={})
+    assert journal.syncs == 0  # batch not full, nothing critical
+    journal.append("complete", critical=True, job_id="j0", result=None)
+    assert journal.syncs == 1  # critical forces the sync
+    journal.close()
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compaction_preserves_state_and_shrinks_the_file(tmp_path):
+    path = tmp_path / "campaign.wal"
+    _journaled_campaign(path)
+    before = os.path.getsize(path)
+    replay = replay_journal(str(path))
+
+    journal = CampaignJournal(str(path))
+    journal.compact(replay)
+    journal.append("complete", critical=True, job_id="b",
+                   result={"run_state": "completed"})
+    journal.close()
+
+    after = replay_journal(str(path))
+    assert after.records == 2  # snapshot + the appended record
+    assert after.jobs["a"]["state"] == "completed"
+    assert after.jobs["b"]["state"] == "completed"
+    assert after.jobs["c"]["state"] == "queued"
+    assert after.checkpoints["b"]["path"] == "/ckpt/b.rtm"
+    assert after.final_metrics["a"]["text"] == "# exposition\n"
+    assert not list(tmp_path.glob("*.tmp")), \
+        "compaction must not leave temp files"
+    assert os.path.getsize(path) <= before + 200
+
+
+def test_restore_rejects_duplicate_and_bad_state(tmp_path):
+    queue = JobQueue()
+    queue.restore(_spec("a"), state="completed", result={"ok": True})
+    with pytest.raises(ValueError, match="duplicate"):
+        queue.restore(_spec("a"))
+    with pytest.raises(ValueError, match="running"):
+        queue.restore(_spec("b"), state="running")
