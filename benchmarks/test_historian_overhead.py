@@ -1,0 +1,133 @@
+"""Historian overhead: a recorded campaign vs a merely monitored one.
+
+The historian's design premise is that durability lives *off* the
+simulation hot path: one background thread samples the registry on a
+wall-clock cadence, evaluates alert rules, and batches rows into
+SQLite.  The simulation thread never touches the database.
+
+Two cells, same workload and platform as the metrics-overhead table:
+
+1. ``monitored`` — SimMetrics attached (the baseline every monitored
+   run already pays);
+2. ``historian`` — the same, plus a :class:`HistorianService`
+   recording snapshots into a SQLite historian on the fleet's
+   default 500 ms cadence with a threshold alert rule armed.
+
+The acceptance gate is the PR's bound: the recorded run stays within
+1.1x of the monitored baseline.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.historian import Historian, HistorianService, MetricRule
+from repro.historian.service import registry_source
+from repro.metrics import SimMetrics
+from repro.workloads import FIR
+
+from .conftest import bench_platform
+
+HISTORIAN_MODES = ("monitored", "historian")
+
+_WORKLOAD = lambda: FIR(num_samples=16384)  # noqa: E731
+
+
+@pytest.fixture(scope="session")
+def historian_overhead_results():
+    results = {}
+    yield results
+    if not results:
+        return
+    lines = ["=== Historian overhead (median seconds, FIR) ==="]
+    base = None
+    for mode in HISTORIAN_MODES:
+        if mode not in results:
+            continue
+        med = sorted(results[mode])[len(results[mode]) // 2]
+        rel = (f" ({med / base:.2f}x monitored)"
+               if base is not None else "")
+        lines.append(f"{mode:12s}{med:10.3f}{rel}")
+        if mode == "monitored":
+            base = med
+    table = "\n".join(lines)
+    print("\n\n" + table)
+    Path("historian_overhead_summary.txt").write_text(table + "\n")
+
+
+@pytest.mark.parametrize("mode", HISTORIAN_MODES)
+def test_historian_overhead(benchmark, historian_overhead_results,
+                            mode):
+    benchmark.group = "historian-overhead"
+    benchmark.name = mode
+    contexts = []
+
+    def finalize(context):
+        platform, sim_metrics, service, historian = context
+        sim_metrics.stop()
+        if service is not None:
+            service.stop()
+        return context
+
+    def setup():
+        if contexts:
+            # A prior round's sampler must not run during this one.
+            finalize(contexts[-1])
+        platform = bench_platform()
+        _WORKLOAD().enqueue(platform.driver)
+        sim_metrics = SimMetrics(platform.simulation)
+        sim_metrics.start()
+        service = historian = None
+        if mode == "historian":
+            db = Path(tempfile.mkdtemp(
+                prefix="rtm-hist-bench-")) / "bench.db"
+            historian = Historian(db)
+            service = HistorianService(
+                historian, campaign_id=f"bench-{len(contexts)}",
+                source=registry_source(sim_metrics.registry),
+                interval=0.5,
+                rules=[MetricRule("rtm_engine_events_total",
+                                  op=">=", threshold=1.0)])
+            service.start()
+        contexts.append((platform, sim_metrics, service, historian))
+        return (platform,), {}
+
+    def run_simulation(platform):
+        assert platform.run()
+
+    benchmark.pedantic(run_simulation, setup=setup, rounds=3,
+                       iterations=1, warmup_rounds=0)
+
+    finalize(contexts[-1])
+    if mode == "historian":
+        # The recording really happened: snapshots and the armed
+        # rule's single deduplicated firing landed in the store.
+        _, _, service, historian = contexts[-1]
+        stats = historian.stats()
+        assert stats["records"]["snapshot"] >= 1
+        assert stats["records"]["alert"] == 1
+        assert not stats["degraded"]
+        historian.close()
+    else:
+        for _, _, _, historian in contexts:
+            assert historian is None
+
+    historian_overhead_results[mode] = list(
+        benchmark.stats.stats.data)
+
+
+def test_historian_run_within_bound(historian_overhead_results):
+    """Acceptance gate: recording stays <= 1.1x the monitored
+    baseline (runs after the cells; skips when they did not)."""
+    if len(historian_overhead_results) < len(HISTORIAN_MODES):
+        pytest.skip("overhead cells not all collected in this run")
+
+    def median(vals):
+        s = sorted(vals)
+        return s[len(s) // 2]
+
+    monitored = median(historian_overhead_results["monitored"])
+    recorded = median(historian_overhead_results["historian"])
+    assert recorded < monitored * 1.1, \
+        f"historian recording cost {recorded / monitored:.2f}x"

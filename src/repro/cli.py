@@ -15,6 +15,9 @@ without writing code:
 * ``fleet`` — drain a parameter sweep (workload x chiplet count)
   through a worker pool behind the aggregating gateway, or query a
   running gateway's ``/api/fleet``;
+* ``historian`` — query a campaign historian database
+  (``list|show|compare|prune``); campaigns record themselves into one
+  with ``fleet run --historian <db>``;
 * ``workloads`` — list the available benchmarks (``--json`` emits the
   machine-readable catalog fleet jobs are validated against).
 
@@ -69,6 +72,16 @@ def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default="",
                         help="write one federated /metrics scrape here "
                              "(atomically)")
+    parser.add_argument("--historian", default="",
+                        help="record the campaign (metric snapshots, "
+                             "job outcomes, post-mortems, alerts) into "
+                             "this SQLite historian database")
+    parser.add_argument("--campaign", default="",
+                        help="campaign id in the historian database "
+                             "(default: generated from the wall clock)")
+    parser.add_argument("--historian-interval", type=float, default=0.5,
+                        help="historian sampling cadence in wall "
+                             "seconds (default 0.5)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -210,6 +223,55 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="gateway base URL")
     fleet_status.add_argument("--json", action="store_true",
                               help="dump the raw /api/fleet document")
+
+    historian = sub.add_parser(
+        "historian",
+        help="query a campaign historian database")
+    hist_sub = historian.add_subparsers(dest="historian_command",
+                                        required=True)
+
+    hist_list = hist_sub.add_parser(
+        "list", help="campaigns in the database")
+    hist_list.add_argument("db", help="historian SQLite file")
+    hist_list.add_argument("--json", action="store_true")
+
+    hist_show = hist_sub.add_parser(
+        "show", help="one campaign's jobs, post-mortems and alerts")
+    hist_show.add_argument("db", help="historian SQLite file")
+    hist_show.add_argument("campaign", help="campaign id")
+    hist_show.add_argument("--json", action="store_true")
+
+    hist_compare = hist_sub.add_parser(
+        "compare", help="diff two campaigns' metric families "
+                        "(regression report)")
+    hist_compare.add_argument("db", help="historian SQLite file")
+    hist_compare.add_argument("a", nargs="?", default="",
+                              help="baseline campaign id (default: "
+                                   "second-newest)")
+    hist_compare.add_argument("b", nargs="?", default="",
+                              help="candidate campaign id (default: "
+                                   "newest)")
+    hist_compare.add_argument("--json", action="store_true",
+                              help="dump the raw comparison document")
+    hist_compare.add_argument("--out", default="",
+                              help="also write the comparison JSON "
+                                   "here (atomically)")
+    hist_compare.add_argument("--top", type=int, default=15,
+                              help="family rows printed (default 15)")
+
+    hist_prune = hist_sub.add_parser(
+        "prune", help="apply retention policies and delete "
+                      "out-of-policy records")
+    hist_prune.add_argument("db", help="historian SQLite file")
+    hist_prune.add_argument("--kind", default="",
+                            help="restrict to one record kind "
+                                 "(default: every kind)")
+    hist_prune.add_argument("--max-age", type=float, default=None,
+                            help="delete records older than this many "
+                                 "wall seconds")
+    hist_prune.add_argument("--max-count", type=int, default=None,
+                            help="keep only the newest N records per "
+                                 "kind")
 
     workloads = sub.add_parser("workloads",
                                help="list available benchmarks")
@@ -539,13 +601,27 @@ def _drive_campaign(args: argparse.Namespace, manager, journal,
     from .fleet import FleetGateway, replay_journal
 
     gateway = FleetGateway(manager, port=args.port)
+    historian = service = None
+    if getattr(args, "historian", ""):
+        from .historian import Historian, HistorianService
+        historian = Historian(args.historian)
+        service = HistorianService(
+            historian, campaign_id=args.campaign or None,
+            manager=manager, interval=args.historian_interval,
+            meta={"workers": args.workers, "jobs": num_jobs})
+        service.bind_gateway(gateway)
     gateway.start()
     manager.start()
+    if service is not None:
+        service.start()
     mode = "cold" if getattr(args, "cold", False) else "warm"
     print(f"fleet gateway: {gateway.url}  "
           f"({num_jobs} jobs, {args.workers} {mode} workers)")
     if journal is not None:
         print(f"campaign journal: {journal.path}")
+    if service is not None:
+        print(f"historian: {args.historian} "
+              f"campaign {service.campaign_id}")
     with _FleetShutdown() as shutdown:
         try:
             drained = shutdown.wait_drained(manager, args.timeout)
@@ -556,7 +632,13 @@ def _drive_campaign(args: argparse.Namespace, manager, journal,
             metrics_text = client.metrics_text()
         finally:
             manager.stop()
+            if service is not None:
+                # Final harvest after the manager settled every job,
+                # while the finals cache is still warm.
+                service.stop()
             gateway.stop()
+            if historian is not None:
+                historian.close()
             if journal is not None:
                 # Workers torn down by stop() journaled their fates
                 # above; compact everything into one clean snapshot so
@@ -692,6 +774,145 @@ def _fleet_resume(args: argparse.Namespace) -> int:
     return _drive_campaign(args, manager, journal, len(replay.jobs))
 
 
+def _cmd_historian(args: argparse.Namespace) -> int:
+    handler = {
+        "list": _historian_list,
+        "show": _historian_show,
+        "compare": _historian_compare,
+        "prune": _historian_prune,
+    }[args.historian_command]
+    from .historian import Historian
+    historian = Historian(args.db)
+    try:
+        return handler(args, historian)
+    finally:
+        historian.close()
+
+
+def _historian_list(args: argparse.Namespace, historian) -> int:
+    campaigns = historian.campaigns()
+    if args.json:
+        print(json.dumps(campaigns, indent=2, default=str))
+        return 0
+    if not campaigns:
+        print(f"{args.db}: no campaigns recorded")
+        return 0
+    for campaign in campaigns:
+        records = campaign["records"]
+        state = "open" if campaign["finished_wall"] is None else "closed"
+        print(f"{campaign['campaign_id']:24s} {state:6s} "
+              f"{records.get('job', 0):4d} jobs "
+              f"{records.get('snapshot', 0):5d} snapshots "
+              f"{records.get('postmortem', 0):3d} post-mortems "
+              f"{records.get('alert', 0):3d} alerts")
+    stats = historian.stats()
+    if stats["degraded"] or stats["corrupt_records"]:
+        print(f"damage: degraded={stats['degraded']} "
+              f"corrupt={stats['corrupt_records']} "
+              f"read_errors={stats['read_errors']}")
+    return 0
+
+
+def _historian_show(args: argparse.Namespace, historian) -> int:
+    jobs = historian.jobs(args.campaign)
+    postmortems = historian.postmortems(args.campaign)
+    alerts = historian.alerts(args.campaign)
+    if args.json:
+        print(json.dumps({"jobs": jobs, "postmortems": postmortems,
+                          "alerts": alerts}, indent=2, default=str))
+        return 0
+    if not jobs and not postmortems and not alerts:
+        print(f"error: no records for campaign "
+              f"{args.campaign!r} in {args.db}", file=sys.stderr)
+        return 1
+    print(f"campaign {args.campaign}: {len(jobs)} jobs, "
+          f"{len(postmortems)} post-mortems, {len(alerts)} alert "
+          f"transitions")
+    for record in jobs:
+        payload = record["payload"]
+        print(f"  {record['name']:16s} {payload.get('state', '?'):9s} "
+              f"attempts={payload.get('attempt', 0) + 1} "
+              f"worker={payload.get('worker_id') or '-'}")
+    for record in postmortems:
+        payload = record["payload"]
+        watchdog = payload.get("watchdog") or {}
+        print(f"  post-mortem {record['name']}: "
+              f"verdict={watchdog.get('verdict') or '-'} "
+              f"error={str(payload.get('error') or '-')[:60]}")
+    for record in alerts:
+        payload = record["payload"]
+        print(f"  alert {payload.get('state'):8s} "
+              f"{payload.get('name')} value={payload.get('value')}")
+    return 0
+
+
+def _historian_compare(args: argparse.Namespace, historian) -> int:
+    a, b = args.a, args.b
+    if not a or not b:
+        campaigns = [c["campaign_id"] for c in historian.campaigns()]
+        if len(campaigns) < 2:
+            print("error: compare needs two campaigns (found "
+                  f"{len(campaigns)})", file=sys.stderr)
+            return 1
+        a = a or campaigns[-2]
+        b = b or campaigns[-1]
+    report = historian.compare(a, b)
+    if args.out:
+        from .core.atomicio import atomic_write_json
+        atomic_write_json(args.out, report)
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0
+    print(f"historian compare: {a} vs {b}")
+    for side in ("a", "b"):
+        jobs = report[side]["jobs"]
+        completed = sum(1 for j in jobs if j["state"] == "completed")
+        print(f"  {report[side]['campaign_id']}: {len(jobs)} jobs "
+              f"({completed} completed)")
+        for job in jobs:
+            print(f"    {job['job_id']:16s} {job['state'] or '?':9s} "
+                  f"retries={job['retries']}")
+    moved = [(name, entry) for name, entry in report["families"].items()
+             if entry.get("delta") not in (None, 0.0)]
+    moved.sort(key=lambda item: -abs(item[1]["delta"]))
+    print(f"  {len(report['families'])} shared metric families, "
+          f"{len(moved)} moved")
+    for name, entry in moved[:max(0, args.top)]:
+        ratio = entry.get("ratio")
+        print(f"    {name:48s} {entry['a']:14.6g} -> "
+              f"{entry['b']:14.6g}  "
+              f"({'x%.3f' % ratio if ratio is not None else 'new'})")
+    if report["only_a"]:
+        print(f"  only in {a}: {', '.join(report['only_a'][:8])}")
+    if report["only_b"]:
+        print(f"  only in {b}: {', '.join(report['only_b'][:8])}")
+    if args.out:
+        print(f"wrote comparison JSON to {args.out}")
+    return 0
+
+
+def _historian_prune(args: argparse.Namespace, historian) -> int:
+    from .historian import RECORD_KINDS, RetentionPolicy
+    if args.max_age is None and args.max_count is None:
+        print("error: prune needs --max-age and/or --max-count",
+              file=sys.stderr)
+        return 2
+    kinds = [args.kind] if args.kind else list(RECORD_KINDS)
+    try:
+        policies = [RetentionPolicy(kind, max_age=args.max_age,
+                                    max_count=args.max_count)
+                    for kind in kinds]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deleted = historian.prune(policies)
+    total = sum(deleted.values())
+    detail = ", ".join(f"{kind}={count}"
+                       for kind, count in sorted(deleted.items()))
+    print(f"pruned {total} records" + (f" ({detail})" if detail else ""))
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     if getattr(args, "json", False):
         import dataclasses
@@ -732,6 +953,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "fleet": _cmd_fleet,
+        "historian": _cmd_historian,
         "workloads": _cmd_workloads,
     }[args.command]
     return handler(args)

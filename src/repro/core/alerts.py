@@ -51,10 +51,14 @@ class AlertRule:
     label: str = ""
     id: int = field(default_factory=lambda: next(_rule_ids))
 
-    # runtime state
+    # runtime state — ``state`` is the dedup machine (ok | pending |
+    # firing); ``fired`` stays as the "ever fired" latch the dashboard
+    # and HTTP API always showed.
+    state: str = "ok"
     _holding_since: Optional[float] = None
     fired: bool = False
     fired_at_sim_time: Optional[float] = None
+    resolved_at_sim_time: Optional[float] = None
     last_value: Optional[float] = None
 
     def __post_init__(self) -> None:
@@ -70,25 +74,42 @@ class AlertRule:
                           f"{self.threshold:g}")
 
     def evaluate(self, now_wall: float, now_sim: float) -> bool:
-        """Update state; returns True when the rule (newly) fires."""
-        if self.fired:
-            return False
+        """Advance the state machine; returns True only on the
+        ``firing`` transition.
+
+        A rule that keeps breaching stays silently ``firing`` — one
+        transition, not one per evaluation tick.  When the condition
+        clears, the rule transitions back to ``ok`` (the *resolved*
+        edge, observable via :attr:`state` /
+        :attr:`resolved_at_sim_time`) and re-arms: a later breach
+        fires again.
+        """
         try:
             raw = resolve_path(self.component, self.path)
         except (AttributeError, KeyError, IndexError, TypeError):
-            self._holding_since = None
-            return False
-        value = numeric_value(raw)
+            raw = None
+        value = numeric_value(raw) if raw is not None else None
         self.last_value = value
-        if value is None or not OPERATORS[self.op](value, self.threshold):
+        breaching = (value is not None
+                     and OPERATORS[self.op](value, self.threshold))
+        if not breaching:
             self._holding_since = None
+            if self.state == "firing":
+                self.state = "ok"
+                self.resolved_at_sim_time = now_sim
+            else:
+                self.state = "ok"
             return False
+        if self.state == "firing":
+            return False  # still breaching: already announced
         if self._holding_since is None:
             self._holding_since = now_wall
         if now_wall - self._holding_since >= self.duration:
+            self.state = "firing"
             self.fired = True
             self.fired_at_sim_time = now_sim
             return True
+        self.state = "pending"
         return False
 
     def to_dict(self) -> Dict[str, Any]:
@@ -100,8 +121,10 @@ class AlertRule:
             "threshold": self.threshold,
             "duration": self.duration,
             "action": self.action,
+            "state": self.state,
             "fired": self.fired,
             "fired_at_sim_time": self.fired_at_sim_time,
+            "resolved_at_sim_time": self.resolved_at_sim_time,
             "last_value": self.last_value,
         }
 
@@ -109,7 +132,8 @@ class AlertRule:
 class AlertManager:
     """Evaluates rules and performs their actions."""
 
-    def __init__(self, abort: Optional[Callable[[], None]] = None):
+    def __init__(self, abort: Optional[Callable[[], None]] = None,
+                 registry=None):
         """
         Parameters
         ----------
@@ -117,10 +141,25 @@ class AlertManager:
             Callback that terminates the simulation (wired to
             ``Simulation.abort`` by the monitor).  Rules with
             ``action="abort"`` invoke it when they fire.
+        registry:
+            Optional :class:`~repro.metrics.MetricRegistry`; when
+            given, deduplicated transitions are counted as
+            ``rtm_alerts_transitions_total{state="firing"|"resolved"}``
+            (the same family the historian's fleet-level rule engine
+            publishes).
         """
         self._rules: Dict[int, AlertRule] = {}
         self._abort = abort
         self.fired_log: List[AlertRule] = []
+        self.resolved_log: List[AlertRule] = []
+        self._transitions = None
+        if registry is not None:
+            self.attach_registry(registry)
+
+    def attach_registry(self, registry) -> None:
+        self._transitions = registry.counter(
+            "rtm_alerts_transitions_total",
+            "Deduplicated alert rule transitions.", ("state",))
 
     def add(self, rule: AlertRule) -> AlertRule:
         self._rules[rule.id] = rule
@@ -134,15 +173,26 @@ class AlertManager:
         return list(self._rules.values())
 
     def evaluate_all(self, now_sim: float) -> List[AlertRule]:
-        """One evaluation pass; returns the rules that newly fired."""
+        """One evaluation pass; returns the rules that newly fired.
+
+        Transition dedup: a rule breaching across many passes lands in
+        ``fired_log`` once per firing/resolved cycle, and each edge
+        bumps ``rtm_alerts_transitions_total`` exactly once."""
         now_wall = time.monotonic()
         fired = []
         for rule in list(self._rules.values()):
+            was_firing = rule.state == "firing"
             if rule.evaluate(now_wall, now_sim):
                 fired.append(rule)
                 self.fired_log.append(rule)
+                if self._transitions is not None:
+                    self._transitions.labels("firing").inc()
                 if rule.action == "abort" and self._abort is not None:
                     self._abort()
+            elif was_firing and rule.state != "firing":
+                self.resolved_log.append(rule)
+                if self._transitions is not None:
+                    self._transitions.labels("resolved").inc()
         return fired
 
     def to_dict(self) -> List[Dict[str, Any]]:

@@ -378,6 +378,91 @@ class RTMClient:
         return self._call("GET", f"/api/fleet/jobs/{job_id}/metrics",
                           parse_json=False)
 
+    # -- historian (gateway endpoints) ---------------------------------------
+    def historian_status(self) -> Dict[str, Any]:
+        """The recording service's view: campaign id, record counts,
+        rules, store health.  Only meaningful against a gateway whose
+        campaign runs with ``--historian``."""
+        return self._get("/api/historian")
+
+    def historian_campaigns(self) -> List[Dict[str, Any]]:
+        return self._get("/api/historian/campaigns")["campaigns"]
+
+    def historian_query(self, campaign: Optional[str] = None,
+                        kind: Optional[str] = None,
+                        name: Optional[str] = None,
+                        since: Optional[float] = None,
+                        until: Optional[float] = None,
+                        limit: int = 1000) -> List[Dict[str, Any]]:
+        """Filtered historian records (CRC-verified server side)."""
+        params: Dict[str, Any] = {"limit": limit}
+        for key, value in (("campaign", campaign), ("kind", kind),
+                           ("name", name), ("since", since),
+                           ("until", until)):
+            if value is not None:
+                params[key] = value
+        return self._get("/api/historian/query", **params)["records"]
+
+    def historian_compare(self, a: str, b: str) -> Dict[str, Any]:
+        """Diff two campaigns: every job of both, per-family deltas."""
+        return self._get("/api/historian/compare", a=a, b=b)
+
+    def historian_alerts(self) -> Dict[str, Any]:
+        """The rule engine's rules and transition log."""
+        return self._get("/api/historian/alerts")
+
+    def historian_add_rule(self, family: str, op: str = ">=",
+                           threshold: float = 0.0,
+                           kind: str = "threshold",
+                           labels: Optional[Dict[str, str]] = None,
+                           for_seconds: float = 0.0,
+                           name: str = "") -> Dict[str, Any]:
+        """Install a metric alert rule.  POST — never retried."""
+        params: Dict[str, Any] = {"family": family, "op": op,
+                                  "threshold": threshold, "kind": kind}
+        if labels:
+            params["labels"] = ",".join(f"{k}={v}"
+                                        for k, v in labels.items())
+        if for_seconds:
+            params["for"] = for_seconds
+        if name:
+            params["name"] = name
+        return self._post("/api/historian/rules", **params)["rule"]
+
+    def historian_remove_rule(self, rule_id: int) -> bool:
+        return self._call("DELETE", "/api/historian/rules",
+                          {"id": rule_id})["removed"]
+
+    def historian_stream(self, interval: float = 0.25,
+                         max_events: Optional[int] = None,
+                         since: Optional[int] = None
+                         ) -> Iterator[Dict[str, Any]]:
+        """Iterate alert-transition SSE events from
+        ``/api/historian/stream``.  With *max_events* the server closes
+        the stream after that many transitions; *since* replays from a
+        sequence cursor (default: only new transitions)."""
+        params: Dict[str, Any] = {"interval": interval}
+        if max_events is not None:
+            params["count"] = max_events
+        if since is not None:
+            params["since"] = since
+        url = (f"{self.base}/api/historian/stream?"
+               + urlencode(params))
+        try:
+            response = urlopen(Request(url, method="GET"),
+                               timeout=self.timeout)
+        except HTTPError as exc:
+            raise RTMClientError(
+                f"GET /api/historian/stream -> {exc.code}") from exc
+        except (URLError, TimeoutError, ConnectionError) as exc:
+            if _refused(exc) and not self.retry_refused:
+                raise RTMConnectionError(
+                    f"GET /api/historian/stream: connection refused — "
+                    f"nothing listening at {self.base}") from exc
+            raise RTMClientError(
+                f"GET /api/historian/stream: {exc}") from exc
+        return self._iter_sse(response)
+
     # -- controls -----------------------------------------------------------
     def pause(self) -> None:
         self._post("/api/pause")

@@ -11,6 +11,7 @@ or JSON for offline tooling.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import threading
 import time
@@ -18,6 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .atomicio import atomic_write_text
 from .client import RTMClient
 from .timeseries import ValueMonitor
 
@@ -175,24 +177,30 @@ class SeriesRecorder:
 
         Series are polled together but may miss samples independently,
         so each series contributes its own (time, value) column pair.
+
+        The document is built in memory and written atomically
+        (temp file + rename): a recorder raising mid-dump, or a crash
+        racing the write, leaves the previous artifact intact instead
+        of a torn one.
         """
         target = Path(path)
-        with target.open("w", newline="") as f:
-            writer = csv.writer(f)
-            header = []
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        header = []
+        for series in self.series:
+            header += [f"{series.label}.time", f"{series.label}.value"]
+        writer.writerow(header)
+        length = max((len(s.points) for s in self.series), default=0)
+        for i in range(length):
+            row = []
             for series in self.series:
-                header += [f"{series.label}.time", f"{series.label}.value"]
-            writer.writerow(header)
-            length = max((len(s.points) for s in self.series), default=0)
-            for i in range(length):
-                row = []
-                for series in self.series:
-                    if i < len(series.points):
-                        t, v = series.points[i]
-                        row += [t, v]
-                    else:
-                        row += ["", ""]
-                writer.writerow(row)
+                if i < len(series.points):
+                    t, v = series.points[i]
+                    row += [t, v]
+                else:
+                    row += ["", ""]
+            writer.writerow(row)
+        atomic_write_text(target, buffer.getvalue())
         return target
 
     def to_json(self, path) -> Path:
@@ -203,7 +211,7 @@ class SeriesRecorder:
             "path": s.path,
             "points": [[t, v] for t, v in s.points],
         } for s in self.series]
-        target.write_text(json.dumps(payload, indent=2))
+        atomic_write_text(target, json.dumps(payload, indent=2))
         return target
 
 
@@ -225,12 +233,14 @@ def load_recorded_series(path) -> List[RecordedSeries]:
 
 def export_watches_csv(values: ValueMonitor, path) -> Path:
     """Dump a ValueMonitor's current watch histories (the dashboard's
-    300-point rings) to CSV."""
+    300-point rings) to CSV — atomically, so a watch raising mid-dump
+    never leaves a torn artifact behind."""
     target = Path(path)
-    with target.open("w", newline="") as f:
-        writer = csv.writer(f)
-        writer.writerow(["label", "time", "value"])
-        for watch in values.watches:
-            for t, v in watch.points:
-                writer.writerow([watch.label, t, v])
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["label", "time", "value"])
+    for watch in values.watches:
+        for t, v in watch.points:
+            writer.writerow([watch.label, t, v])
+    atomic_write_text(target, buffer.getvalue())
     return target

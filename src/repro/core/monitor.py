@@ -66,7 +66,7 @@ class Monitor:
         # it costs nothing until something records into it.
         self.metrics = MetricRegistry()
         self.values = ValueMonitor(registry=self.metrics)
-        self.alerts = AlertManager()
+        self.alerts = AlertManager(registry=self.metrics)
         self.profiler = SamplingProfiler()
         self._abort_on_hang = False
         self.resources: Optional[ResourceMonitor] = None
@@ -110,7 +110,8 @@ class Monitor:
             self.register_component(component)
         self.hang = HangDetector(simulation, self.analyzer,
                                  registry=self.metrics)
-        self.alerts = AlertManager(abort=simulation.abort)
+        self.alerts = AlertManager(abort=simulation.abort,
+                                   registry=self.metrics)
 
     def attach_driver(self, driver) -> None:
         """Auto-create the default progress bars: kernel block progress

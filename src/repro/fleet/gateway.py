@@ -12,7 +12,19 @@ GET      /api/fleet/<worker>/<rest...>        reverse proxy to worker
 POST     /api/fleet/<worker>/<rest...>        (same — control actions)
 DELETE   /api/fleet/<worker>/<rest...>        (same)
 GET      /metrics                             federated exposition
+GET      /api/historian                       recording service status
+GET      /api/historian/campaigns             campaigns in the store
+GET      /api/historian/query                 filtered records
+GET      /api/historian/compare?a=&b=         two campaigns diffed
+GET      /api/historian/alerts                rules + transitions
+GET      /api/historian/stream                SSE alert transitions
+POST     /api/historian/rules                 add an alert rule
+DELETE   /api/historian/rules?id=             remove an alert rule
 =======  ===================================  ==========================
+
+The historian routes exist when a :class:`~repro.historian.
+HistorianService` has bound itself to the gateway (``fleet run
+--historian <db>`` does this); otherwise they answer 400.
 
 The reverse proxy makes every single-simulation view of the paper reach
 fleet scale unchanged: ``/api/fleet/w3/api/buffers`` is worker w3's
@@ -69,13 +81,18 @@ class _GatewayHandler(JSONRequestHandler):
         self._route("DELETE")
 
     def _route(self, method: str) -> None:
-        path, _params = self._query()
+        path, params = self._query()
         try:
             if path == "/metrics" and method == "GET":
                 body = self.gateway.federated_metrics().encode()
                 self._send_body(body, _PROM_CONTENT_TYPE)
             elif path == "/api/fleet" and method == "GET":
                 self._send_json(self.gateway.status())
+            elif (path == "/api/historian/stream"
+                  and method == "GET"):
+                self._historian_stream(params)
+            elif path.startswith("/api/historian"):
+                self._historian(method, path, params)
             elif (method == "GET"
                   and path.startswith("/api/fleet/jobs/")
                   and path.endswith("/metrics")):
@@ -94,6 +111,112 @@ class _GatewayHandler(JSONRequestHandler):
             self._send_error_json(str(exc), 400)
         except Exception as exc:  # surface handler bugs to the client
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+
+    # ------------------------------------------------------------------
+    # Historian (the durable campaign record behind this gateway)
+    # ------------------------------------------------------------------
+    def _historian_service(self):
+        service = self.gateway.historian
+        if service is None:
+            raise BadRequest("historian not enabled for this campaign "
+                             "(start the fleet with --historian)")
+        return service
+
+    def _historian(self, method: str, path: str,
+                   params: Dict[str, str]) -> None:
+        service = self._historian_service()
+        store = service.historian
+        if path == "/api/historian" and method == "GET":
+            self._send_json(service.status())
+        elif path == "/api/historian/campaigns" and method == "GET":
+            self._send_json({"campaigns": store.campaigns()})
+        elif path == "/api/historian/query" and method == "GET":
+            filters: Dict[str, Any] = {}
+            if "campaign" in params:
+                filters["campaign_id"] = params["campaign"]
+            for key in ("kind", "name"):
+                if key in params:
+                    filters[key] = params[key]
+            for key in ("since", "until"):
+                if key in params:
+                    try:
+                        filters[key] = float(params[key])
+                    except ValueError:
+                        raise BadRequest(f"bad {key!r}: not a number")
+            try:
+                limit = int(params.get("limit", "1000"))
+            except ValueError:
+                raise BadRequest("bad 'limit': not an integer")
+            self._send_json(
+                {"records": store.query(limit=limit, **filters)})
+        elif path == "/api/historian/compare" and method == "GET":
+            a, b = params.get("a"), params.get("b")
+            if not a or not b:
+                raise BadRequest("compare needs ?a=<campaign>&"
+                                 "b=<campaign>")
+            self._send_json(store.compare(a, b))
+        elif path == "/api/historian/alerts" and method == "GET":
+            self._send_json(service.engine.to_dict())
+        elif path == "/api/historian/rules" and method == "POST":
+            self._send_json(
+                {"rule": self.gateway.add_historian_rule(params)})
+        elif path == "/api/historian/rules" and method == "DELETE":
+            try:
+                rule_id = int(params.get("id", ""))
+            except ValueError:
+                raise BadRequest("rule DELETE needs ?id=<int>")
+            self._send_json(
+                {"removed": service.remove_rule(rule_id)})
+        else:
+            self._send_error_json("not found", 404)
+
+    def _historian_stream(self, params: Dict[str, str]) -> None:
+        """SSE of deduplicated alert-rule transitions.
+
+        ``since`` is a sequence-number cursor (default: only
+        transitions after the connection opens), ``count`` closes the
+        stream after N events — how a test proves "exactly once"."""
+        service = self._historian_service()
+        engine = service.engine
+        try:
+            interval = max(0.05, float(params.get("interval", "0.25")))
+            count = int(params.get("count", "0"))
+            if "since" in params:
+                cursor = int(params["since"])
+            else:
+                transitions = engine.transitions
+                cursor = transitions[-1]["seq"] if transitions else 0
+        except ValueError as exc:
+            raise BadRequest(f"bad stream parameter: {exc}") from None
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        stopping = getattr(self.server, "stopping", None)
+        sent = 0
+        try:
+            while True:
+                for event in engine.transitions_since(cursor):
+                    cursor = event["seq"]
+                    self.wfile.write(b"data: "
+                                     + json.dumps(event).encode()
+                                     + b"\n\n")
+                    self.wfile.flush()
+                    sent += 1
+                    if count and sent >= count:
+                        return
+                # Keepalive comment: an idle stream must not trip the
+                # client's socket timeout while a campaign warms up.
+                self.wfile.write(b": keepalive\n\n")
+                self.wfile.flush()
+                if stopping is not None:
+                    if stopping.wait(interval):
+                        return
+                else:  # pragma: no cover - servers always set one
+                    import time as _time
+                    _time.sleep(interval)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away; nothing to report
 
     def _proxy(self, method: str, path: str) -> None:
         remainder = path[len("/api/fleet/"):]
@@ -124,6 +247,9 @@ class FleetGateway(HTTPServerThread):
     def __init__(self, manager, host: str = "127.0.0.1", port: int = 0):
         self.manager = manager
         self.registry = MetricRegistry()
+        #: Set by HistorianService.bind_gateway: enables the
+        #: /api/historian/* routes and the alert-transition SSE stream.
+        self.historian = None
         self._install_fleet_metrics()
         handler = type("BoundGatewayHandler", (_GatewayHandler,),
                        {"gateway": self})
@@ -158,6 +284,39 @@ class FleetGateway(HTTPServerThread):
             restarts.set(float(status.get("worker_restarts", 0)))
 
         self.registry.add_collector(collect)
+
+    # ------------------------------------------------------------------
+    # Historian rule administration (HTTP -> MetricRule)
+    # ------------------------------------------------------------------
+    def add_historian_rule(self, params: Dict[str, str]
+                           ) -> Dict[str, Any]:
+        """Create a rule from query parameters: ``family`` (required),
+        ``op``, ``threshold``, ``kind``, ``for`` (hold seconds),
+        ``labels`` as ``k=v`` pairs joined by commas, ``name``."""
+        from ..historian.rules import MetricRule
+        if self.historian is None:
+            raise BadRequest("historian not enabled")
+        family = params.get("family", "")
+        if not family:
+            raise BadRequest("rule needs ?family=<metric family>")
+        labels: Dict[str, str] = {}
+        for pair in filter(None, params.get("labels", "").split(",")):
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise BadRequest(f"bad label pair {pair!r}; use k=v")
+            labels[key.strip()] = value.strip()
+        try:
+            rule = MetricRule(
+                family=family,
+                op=params.get("op", ">="),
+                threshold=float(params.get("threshold", "0")),
+                kind=params.get("kind", "threshold"),
+                labels=labels,
+                for_seconds=float(params.get("for", "0")),
+                name=params.get("name", ""))
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from None
+        return self.historian.add_rule(rule).to_dict()
 
     # ------------------------------------------------------------------
     # Views

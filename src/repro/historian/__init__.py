@@ -1,0 +1,51 @@
+"""``repro.historian`` — the fleet's durable system of record.
+
+AkitaRTM (``repro.core``) is a live viewer; this package is its
+memory.  A WAL-mode SQLite store (:class:`Historian`) persists, across
+campaigns: federated metric snapshots sampled on a cadence, per-job
+outcomes with their final Prometheus expositions, watchdog
+post-mortems (checkpoint + trace-window pointers included), and alert
+firings.  On top of it:
+
+* :class:`RetentionPolicy` + :meth:`Historian.prune` — age/count
+  retention per record kind, run as the service's idle-time sweep;
+* :class:`MetricRule` / :class:`RuleEngine` — declarative
+  threshold/rate/absence rules over metric families with deduplicated
+  ``firing``/``resolved`` transitions;
+* :class:`HistorianService` — the background sampler wiring a live
+  campaign (gateway + manager) into the store;
+* the gateway's ``/api/historian/*`` query + compare + SSE endpoints,
+  ``RTMClient.historian_*``, and the ``repro historian`` CLI.
+
+Typical use::
+
+    from repro.historian import Historian, HistorianService, MetricRule
+
+    historian = Historian("campaigns.db")
+    service = HistorianService(historian, campaign_id="sweep-42",
+                               manager=manager)
+    service.add_rule(MetricRule("rtm_fleet_jobs",
+                                labels={"state": "failed"},
+                                op=">=", threshold=1))
+    service.bind_gateway(gateway)
+    service.start()
+    ...  # run the campaign
+    service.stop()
+    report = historian.compare("sweep-41", "sweep-42")
+"""
+
+from .rules import MetricRule, RuleEngine, RULE_KINDS
+from .service import HistorianService, gateway_source, registry_source
+from .store import Historian, RetentionPolicy, RECORD_KINDS
+
+__all__ = [
+    "Historian",
+    "HistorianService",
+    "MetricRule",
+    "RECORD_KINDS",
+    "RULE_KINDS",
+    "RetentionPolicy",
+    "RuleEngine",
+    "gateway_source",
+    "registry_source",
+]

@@ -13,7 +13,13 @@ Three front doors, all served by :class:`repro.core.RTMServer`:
 * ``GET /api/stream``   — Server-Sent Events pushing snapshots
 """
 
-from .exposition import CONTENT_TYPE, expose, format_labels
+from .exposition import (
+    CONTENT_TYPE,
+    expose,
+    family_total,
+    format_labels,
+    parse_exposition,
+)
 from .federation import federate, inject_label, inject_labels
 from .instrument import OCCUPANCY_BUCKETS, PASS_BUCKETS, SimMetrics
 from .registry import (
@@ -39,8 +45,10 @@ __all__ = [
     "Series",
     "SimMetrics",
     "expose",
+    "family_total",
     "federate",
     "format_labels",
+    "parse_exposition",
     "inject_label",
     "inject_labels",
     "rate",

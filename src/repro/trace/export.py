@@ -14,10 +14,12 @@ events visible.  Read the UI's "µs" as simulated ns.
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from ..core.atomicio import atomic_write_text
 from .events import TraceEvent, TraceKind
 
 #: Simulated seconds -> exported ``ts`` units (see module docstring).
@@ -32,11 +34,16 @@ _HOP_DUR = 0.1
 # JSONL
 # ----------------------------------------------------------------------
 def write_jsonl(events: Iterable[TraceEvent], path) -> Path:
-    """One JSON object per line; the streaming-friendly archive format."""
+    """One JSON object per line; the streaming-friendly archive format.
+
+    Rendered in memory, written atomically: an event source raising
+    mid-iteration (a store read hitting damage) leaves no partial
+    file for a downstream reader to trip over."""
     target = Path(path)
-    with target.open("w") as f:
-        for ev in events:
-            f.write(json.dumps(ev.to_dict()) + "\n")
+    buffer = io.StringIO()
+    for ev in events:
+        buffer.write(json.dumps(ev.to_dict()) + "\n")
+    atomic_write_text(target, buffer.getvalue())
     return target
 
 
@@ -126,9 +133,11 @@ def to_perfetto(events: Sequence[TraceEvent],
 
 def write_perfetto(events: Sequence[TraceEvent], path,
                    trace_name: str = "repro.trace") -> Path:
-    """Write the Perfetto JSON document for *events* to *path*."""
+    """Write the Perfetto JSON document for *events* to *path*
+    (atomically — the document is built before the target is touched).
+    """
     target = Path(path)
-    target.write_text(json.dumps(to_perfetto(events, trace_name)))
+    atomic_write_text(target, json.dumps(to_perfetto(events, trace_name)))
     return target
 
 

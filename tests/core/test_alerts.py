@@ -157,3 +157,66 @@ def test_alert_api_over_http():
     assert fired and fired[0]["id"] == rule_id
     assert client.remove_alert(rule_id)
     monitor.stop_server()
+
+
+# -------------------------------------------------------------- dedup
+def test_still_breaching_rule_fires_once_then_resolves_once():
+    manager = AlertManager()
+    g = _Gauge()
+    g.level = 50
+    rule = manager.add(AlertRule(g, "level", ">=", 10.0))
+    assert len(manager.evaluate_all(now_sim=1.0)) == 1
+    assert rule.state == "firing"
+    # Still breaching: silent.
+    for t in (2.0, 3.0, 4.0):
+        assert manager.evaluate_all(now_sim=t) == []
+    assert manager.fired_log == [rule]
+    # Condition clears: exactly one resolved edge.
+    g.level = 0
+    assert manager.evaluate_all(now_sim=5.0) == []
+    assert rule.state == "ok"
+    assert rule.resolved_at_sim_time == 5.0
+    assert manager.resolved_log == [rule]
+    manager.evaluate_all(now_sim=6.0)
+    assert manager.resolved_log == [rule]
+
+
+def test_rule_refires_after_resolve():
+    manager = AlertManager()
+    g = _Gauge()
+    rule = manager.add(AlertRule(g, "level", ">=", 10.0))
+    g.level = 20
+    manager.evaluate_all(now_sim=1.0)
+    g.level = 0
+    manager.evaluate_all(now_sim=2.0)
+    g.level = 20
+    fired = manager.evaluate_all(now_sim=3.0)
+    assert fired == [rule]
+    assert manager.fired_log == [rule, rule]
+    assert rule.fired_at_sim_time == 3.0
+
+
+def test_transitions_counter_counts_edges_not_ticks():
+    from repro.metrics import MetricRegistry, expose
+
+    registry = MetricRegistry()
+    manager = AlertManager(registry=registry)
+    g = _Gauge()
+    manager.add(AlertRule(g, "level", ">=", 10.0))
+    g.level = 99
+    for t in range(5):
+        manager.evaluate_all(now_sim=float(t))
+    g.level = 0
+    for t in range(5, 10):
+        manager.evaluate_all(now_sim=float(t))
+    text = expose(registry)
+    assert 'rtm_alerts_transitions_total{state="firing"} 1' in text
+    assert 'rtm_alerts_transitions_total{state="resolved"} 1' in text
+
+
+def test_monitor_exposes_transition_metric():
+    platform = GPUPlatform(StoreStorm.trigger_config(buggy=True))
+    monitor = Monitor(platform.simulation)
+    assert ("rtm_alerts_transitions_total"
+            in monitor.metrics._metrics), \
+        "monitor registry missing the transitions family"

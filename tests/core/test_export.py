@@ -132,3 +132,51 @@ def test_recorder_survives_bad_path(live, tmp_path):
     recorder.record_for(0.1)
     assert recorder.series[0].points == []  # no samples, no crash
     recorder.to_csv(tmp_path / "empty.csv")  # exports cleanly
+
+
+# ---------------------------------------------------------------- atomicity
+def test_to_csv_failure_leaves_no_partial_file(tmp_path):
+    recorder = SeriesRecorder.__new__(SeriesRecorder)
+    good = RecordedSeries("ok", "Thing", "level",
+                          points=[(0.0, 1.0), (1.0, 2.0)])
+    poisoned = RecordedSeries("bad", "Thing", "level",
+                              points=[(0.0, 1.0), "not a pair"])
+    recorder.series = [good, poisoned]
+    target = tmp_path / "out.csv"
+    with pytest.raises(Exception):
+        recorder.to_csv(target)
+    assert not target.exists(), "partial CSV left behind"
+    assert list(tmp_path.iterdir()) == [], "stray temp file left behind"
+
+
+def test_to_csv_failure_preserves_previous_artifact(tmp_path):
+    target = tmp_path / "out.csv"
+    target.write_text("previous,complete,artifact\n")
+    recorder = SeriesRecorder.__new__(SeriesRecorder)
+    recorder.series = [RecordedSeries("bad", "Thing", "level",
+                                      points=[(0.0, 1.0), None])]
+    with pytest.raises(Exception):
+        recorder.to_csv(target)
+    assert target.read_text() == "previous,complete,artifact\n"
+
+
+def test_export_watches_csv_failure_leaves_no_partial_file(tmp_path):
+    class _GoodWatch:
+        label = "good"
+        points = [(0.0, 1.0)]
+
+    class _PoisonedWatch:
+        label = "poison"
+
+        @property
+        def points(self):
+            raise RuntimeError("watch read failed mid-dump")
+
+    class _Values:
+        watches = [_GoodWatch(), _PoisonedWatch()]
+
+    target = tmp_path / "watches.csv"
+    with pytest.raises(RuntimeError):
+        export_watches_csv(_Values(), target)
+    assert not target.exists(), "partial CSV left behind"
+    assert list(tmp_path.iterdir()) == []

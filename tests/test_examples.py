@@ -132,3 +132,20 @@ def test_custom_simulator():
                       if "C.In.Buf" in line]
     assert analyzer_lines and "slow component" in analyzer_lines[0]
     assert "chain drained: D processed 50000 requests" in out
+
+
+@pytest.mark.slow
+def test_historian_campaigns():
+    out = _run("historian_campaigns.py", timeout=400)
+    assert "campaign baseline: drained" in out
+    assert "campaign candidate: drained" in out
+    # Post-hoc inventory: the candidate campaign carries the stall's
+    # watchdog verdict and the deduplicated alert firing.
+    assert "post-mortem fir-c1: verdict=aborted" in out
+    assert ("alert transition: rtm_fleet_job_retries_total >= 1 "
+            "-> firing") in out
+    assert out.count("-> firing") == 1
+    # The comparison names every job from both campaigns.
+    assert ("compare baseline (fir-c1, fir-c2) vs "
+            "candidate (fir-c1, fir-c2, fir-c3)") in out
+    assert "historian database:" in out

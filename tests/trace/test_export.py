@@ -102,3 +102,29 @@ def test_export_events_dispatcher(tmp_path):
     assert out.is_file()
     with pytest.raises(ValueError, match="format"):
         export_events(events, "csv")
+
+
+def test_write_jsonl_failure_leaves_no_partial_file(tmp_path):
+    def poisoned_events():
+        yield from _events()[:2]
+        raise RuntimeError("store read hit damage mid-iteration")
+
+    target = tmp_path / "trace.jsonl"
+    with pytest.raises(RuntimeError):
+        write_jsonl(poisoned_events(), target)
+    assert not target.exists(), "partial JSONL left behind"
+    assert list(tmp_path.iterdir()) == [], "stray temp file left behind"
+
+
+def test_write_jsonl_failure_preserves_previous_artifact(tmp_path):
+    target = tmp_path / "trace.jsonl"
+    write_jsonl(_events()[:1], target)
+    before = target.read_text()
+
+    def poisoned():
+        raise RuntimeError("boom")
+        yield  # pragma: no cover
+
+    with pytest.raises(RuntimeError):
+        write_jsonl(poisoned(), target)
+    assert target.read_text() == before
