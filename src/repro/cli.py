@@ -12,6 +12,10 @@ without writing code:
   the recorded message/task lifecycle (JSONL or Perfetto);
 * ``metrics`` — run one benchmark with the metric registry attached
   and dump the final Prometheus text exposition;
+* ``profile`` — run one monitored benchmark under the continuous
+  profiler and record its overhead-attribution summary
+  (``record``), then print (``report``), convert (``export``) or A/B
+  diff (``diff``) recorded summaries;
 * ``fleet`` — drain a parameter sweep (workload x chiplet count)
   through a worker pool behind the aggregating gateway, or query a
   running gateway's ``/api/fleet``;
@@ -82,6 +86,18 @@ def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--historian-interval", type=float, default=0.5,
                         help="historian sampling cadence in wall "
                              "seconds (default 0.5)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run every worker under the continuous "
+                             "profiler; per-job attribution summaries "
+                             "ride the control channel into "
+                             "/api/fleet/profile (and the historian)")
+    parser.add_argument("--profile-interval", type=float, default=0.02,
+                        help="worker profiler sampling interval in "
+                             "seconds (default 0.02)")
+    parser.add_argument("--profile-out", default="",
+                        help="write the merged campaign profile as a "
+                             "speedscope JSON file here (atomically); "
+                             "implies --profile")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -166,6 +182,66 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="seconds to keep a hung simulation alive "
                               "(default 0: exit on hang — metrics are "
                               "still dumped)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="continuous profiling: record, report, export, diff")
+    profile_sub = profile.add_subparsers(dest="profile_command",
+                                         required=True)
+
+    prof_record = profile_sub.add_parser(
+        "record", help="run one monitored benchmark under the "
+                       "continuous profiler and write its summary")
+    prof_record.add_argument("workload", choices=sorted(SUITE),
+                             help="benchmark to execute")
+    prof_record.add_argument("--chiplets", type=int, default=2,
+                             help="number of GPU chiplets (default 2)")
+    prof_record.add_argument("--buggy-l2", action="store_true",
+                             help="enable case study 2's write-buffer "
+                                  "bug")
+    prof_record.add_argument("--interval", type=float, default=0.02,
+                             help="sampling interval in seconds "
+                                  "(default 0.02)")
+    prof_record.add_argument("--window", type=float, default=1.0,
+                             help="rolling window length in seconds "
+                                  "(default 1.0)")
+    prof_record.add_argument("--server", action="store_true",
+                             help="also start the dashboard server so "
+                                  "its threads appear in the profile")
+    prof_record.add_argument("--out", required=True,
+                             help="write the summary JSON here "
+                                  "(atomically)")
+
+    prof_report = profile_sub.add_parser(
+        "report", help="print the layer/function attribution of a "
+                       "recorded summary")
+    prof_report.add_argument("summary", help="summary JSON from "
+                                             "profile record")
+    prof_report.add_argument("--top", type=int, default=15,
+                             help="function rows printed (default 15)")
+    prof_report.add_argument("--json", action="store_true",
+                             help="dump the raw summary document")
+
+    prof_export = profile_sub.add_parser(
+        "export", help="convert a recorded summary to a viewer format")
+    prof_export.add_argument("summary", help="summary JSON from "
+                                             "profile record")
+    prof_export.add_argument("--format",
+                             choices=("speedscope", "collapsed"),
+                             default="speedscope",
+                             help="output format (default speedscope)")
+    prof_export.add_argument("--out", required=True,
+                             help="write the export here (atomically)")
+
+    prof_diff = profile_sub.add_parser(
+        "diff", help="per-layer / per-function delta between two "
+                     "recorded summaries")
+    prof_diff.add_argument("a", help="baseline summary JSON")
+    prof_diff.add_argument("b", help="candidate summary JSON")
+    prof_diff.add_argument("--top", type=int, default=15,
+                           help="function rows printed (default 15)")
+    prof_diff.add_argument("--json", action="store_true",
+                           help="dump the raw diff document")
 
     fleet = sub.add_parser(
         "fleet", help="orchestrate many monitored simulations")
@@ -496,6 +572,143 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    handler = {
+        "record": _profile_record,
+        "report": _profile_report,
+        "export": _profile_export,
+        "diff": _profile_diff,
+    }[args.profile_command]
+    return handler(args)
+
+
+def _load_summary(path: str) -> dict:
+    import pathlib
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read summary {path}: {exc}")
+
+
+def _print_summary(summary: dict, top: int) -> None:
+    sampled = summary.get("sampled_seconds", 0.0)
+    print(f"duration {summary.get('duration', 0.0):.2f}s wall, "
+          f"{summary.get('samples', 0)} samples, "
+          f"{sampled:.2f}s attributed"
+          + (f" across {summary['jobs']} jobs"
+             if summary.get("jobs") else ""))
+    print("layers:")
+    for layer, seconds in summary.get("layers", {}).items():
+        share = (seconds / sampled * 100.0) if sampled else 0.0
+        print(f"  {layer:10s} {seconds:9.3f}s  {share:5.1f}%")
+    print(f"top functions (self time):")
+    for fn in summary.get("functions", [])[:max(0, top)]:
+        print(f"  {fn['self']:8.3f}s self {fn['total']:8.3f}s total "
+              f"[{fn.get('layer', 'other'):8s}] {fn['name']} "
+              f"({fn['file']}:{fn['line']})")
+
+
+def _profile_record(args: argparse.Namespace) -> int:
+    from .core.atomicio import atomic_write_json
+    config = GPUPlatformConfig.small(
+        num_chiplets=args.chiplets,
+        l2_write_buffer_bug=args.buggy_l2)
+    workload = suite_small()[args.workload]
+    platform = GPUPlatform(config)
+    workload.enqueue(platform.driver)
+
+    monitor = Monitor(platform.simulation)
+    monitor.attach_driver(platform.driver)
+    monitor.ensure_sim_metrics().start()
+    monitor.start_sampler()
+    if args.server:
+        print(f"AkitaRTM dashboard: {monitor.start_server()}")
+    profiler = monitor.start_continuous_profiling(
+        interval=args.interval, window_seconds=args.window)
+    try:
+        ok = platform.run(hang_wait=0.0)
+    finally:
+        # A hung run's profile is exactly what to look at: stop the
+        # sampling thread first so the summary is a settled snapshot.
+        profiler.stop()
+        summary = profiler.summary()
+        if args.server:
+            monitor.stop_server()
+        else:
+            monitor.stop_sampler()
+            monitor.ensure_sim_metrics().stop()
+    state = "completed" if ok else platform.simulation.run_state
+    atomic_write_json(args.out, summary)
+    print(f"{state}: {summary['samples']} samples over "
+          f"{summary['duration']:.2f}s wall; wrote summary to "
+          f"{args.out}")
+    _print_summary(summary, top=5)
+    return 0 if ok else 1
+
+
+def _profile_report(args: argparse.Namespace) -> int:
+    summary = _load_summary(args.summary)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+        return 0
+    _print_summary(summary, top=args.top)
+    return 0
+
+
+def _profile_export(args: argparse.Namespace) -> int:
+    from .core.atomicio import atomic_write_json, atomic_write_text
+    from .profile import (collapsed_stacks, speedscope_document,
+                          summary_stack_map)
+    summary = _load_summary(args.summary)
+    stacks = summary_stack_map(summary)
+    if not stacks:
+        print(f"error: {args.summary} holds no stacks to export",
+              file=sys.stderr)
+        return 1
+    if args.format == "collapsed":
+        atomic_write_text(args.out, collapsed_stacks(stacks))
+    else:
+        atomic_write_json(args.out, speedscope_document(
+            stacks, name=f"repro profile: {args.summary}"))
+    print(f"wrote {args.format} export to {args.out}")
+    return 0
+
+
+def _profile_diff(args: argparse.Namespace) -> int:
+    from .profile import diff_summaries
+    diff = diff_summaries(_load_summary(args.a), _load_summary(args.b),
+                          top=args.top)
+    if args.json:
+        print(json.dumps(diff, indent=2, default=str))
+        return 0
+    print(f"profile diff: {args.a} vs {args.b}")
+    _print_profile_diff(diff, top=args.top, indent="")
+    return 0
+
+
+def _print_profile_diff(diff: dict, top: int, indent: str) -> None:
+    """Shared renderer for ``profile diff`` and the profile section of
+    ``historian compare``."""
+    duration = diff.get("duration", {})
+    sampled = diff.get("sampled_seconds", {})
+    print(f"{indent}wall {duration.get('a', 0.0):.2f}s -> "
+          f"{duration.get('b', 0.0):.2f}s, attributed "
+          f"{sampled.get('a', 0.0):.2f}s -> {sampled.get('b', 0.0):.2f}s")
+    print(f"{indent}layers (by |delta|):")
+    for layer, entry in diff.get("layers", {}).items():
+        ratio = entry.get("ratio")
+        print(f"{indent}  {layer:10s} {entry['a']:9.3f}s -> "
+              f"{entry['b']:9.3f}s  ({entry['delta']:+9.3f}s"
+              f"{', x%.3f' % ratio if ratio is not None else ''})")
+    moved = [fn for fn in diff.get("functions", []) if fn.get("delta")]
+    if moved:
+        print(f"{indent}functions that moved most (self time):")
+    for fn in moved[:max(0, top)]:
+        print(f"{indent}  {fn['delta']:+8.3f}s "
+              f"[{fn.get('layer', 'other'):8s}] {fn['name']} "
+              f"({fn['file']})")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "status":
         return _fleet_status(args)
@@ -531,19 +744,23 @@ def _fleet_status(args: argparse.Namespace) -> int:
 
 
 def _fleet_worker_args(args: argparse.Namespace) -> List[str]:
-    """Checkpoint flags forwarded to every worker process.  A
-    checkpoint dir with no cadence defaults to an event cadence — a
-    dir alone clearly means "I want checkpoints"."""
-    if not args.checkpoint_dir:
-        return []
-    extra = ["--checkpoint-dir", args.checkpoint_dir]
-    events = args.checkpoint_events
-    if events <= 0 and args.checkpoint_interval <= 0:
-        events = 20_000
-    if events > 0:
-        extra += ["--checkpoint-events", str(events)]
-    if args.checkpoint_interval > 0:
-        extra += ["--checkpoint-interval", str(args.checkpoint_interval)]
+    """Checkpoint and profiling flags forwarded to every worker
+    process.  A checkpoint dir with no cadence defaults to an event
+    cadence — a dir alone clearly means "I want checkpoints"."""
+    extra: List[str] = []
+    if args.checkpoint_dir:
+        extra += ["--checkpoint-dir", args.checkpoint_dir]
+        events = args.checkpoint_events
+        if events <= 0 and args.checkpoint_interval <= 0:
+            events = 20_000
+        if events > 0:
+            extra += ["--checkpoint-events", str(events)]
+        if args.checkpoint_interval > 0:
+            extra += ["--checkpoint-interval",
+                      str(args.checkpoint_interval)]
+    if args.profile or args.profile_out:
+        extra += ["--profile",
+                  "--profile-interval", str(args.profile_interval)]
     return extra
 
 
@@ -630,6 +847,11 @@ def _drive_campaign(args: argparse.Namespace, manager, journal,
             client = RTMClient(gateway.url)
             status = client.fleet_status()
             metrics_text = client.metrics_text()
+            profile_doc = None
+            if args.profile_out:
+                # The gateway dies with this process: render the merged
+                # campaign speedscope document while it is still up.
+                profile_doc = client.fleet_profile(format="speedscope")
         finally:
             manager.stop()
             if service is not None:
@@ -657,6 +879,10 @@ def _drive_campaign(args: argparse.Namespace, manager, journal,
     if args.metrics_out:
         atomic_write_text(args.metrics_out, metrics_text)
         print(f"wrote federated metrics to {args.metrics_out}")
+    if args.profile_out and profile_doc is not None:
+        atomic_write_json(args.profile_out, profile_doc)
+        print(f"wrote campaign speedscope profile to "
+              f"{args.profile_out}")
 
     summary = status.get("summary", {})
     for job in status.get("jobs", []):
@@ -804,7 +1030,8 @@ def _historian_list(args: argparse.Namespace, historian) -> int:
               f"{records.get('job', 0):4d} jobs "
               f"{records.get('snapshot', 0):5d} snapshots "
               f"{records.get('postmortem', 0):3d} post-mortems "
-              f"{records.get('alert', 0):3d} alerts")
+              f"{records.get('alert', 0):3d} alerts "
+              f"{records.get('profile', 0):3d} profiles")
     stats = historian.stats()
     if stats["degraded"] or stats["corrupt_records"]:
         print(f"damage: degraded={stats['degraded']} "
@@ -886,6 +1113,12 @@ def _historian_compare(args: argparse.Namespace, historian) -> int:
         print(f"  only in {a}: {', '.join(report['only_a'][:8])}")
     if report["only_b"]:
         print(f"  only in {b}: {', '.join(report['only_b'][:8])}")
+    profile = report.get("profile")
+    if profile:
+        jobs_profiled = profile.get("jobs_profiled", {})
+        print(f"  profile: {jobs_profiled.get('a', 0)} vs "
+              f"{jobs_profiled.get('b', 0)} jobs profiled")
+        _print_profile_diff(profile, top=args.top, indent="  ")
     if args.out:
         print(f"wrote comparison JSON to {args.out}")
     return 0
@@ -952,6 +1185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "study": _cmd_study,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "profile": _cmd_profile,
         "fleet": _cmd_fleet,
         "historian": _cmd_historian,
         "workloads": _cmd_workloads,

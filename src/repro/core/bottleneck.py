@@ -34,9 +34,12 @@ class BufferRow:
         return self.size / self.capacity if self.capacity else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        # "pinned" lets /api/buffers clients tell a fault-pinned buffer
+        # (held at capacity by the injector) from a genuinely full one.
         return {"buffer": self.name, "size": self.size,
                 "capacity": self.capacity,
-                "percent": round(self.percent, 4)}
+                "percent": round(self.percent, 4),
+                "pinned": self.pinned}
 
 
 class BufferAnalyzer:

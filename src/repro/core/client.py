@@ -369,6 +369,11 @@ class RTMClient:
         proxy, e.g. ``fleet_worker_get("w1", "/api/overview")``."""
         return self._get(f"/api/fleet/{worker_id}{endpoint}", **params)
 
+    def fleet_profile(self, format: str = "summary") -> Dict[str, Any]:
+        """The campaign-wide merged profile (``format='speedscope'``
+        for a loadable speedscope document instead)."""
+        return self._get("/api/fleet/profile", format=format)
+
     def fleet_job_metrics(self, job_id: str) -> str:
         """One job's final Prometheus exposition (``worker``/``job``
         labelled), served from the gateway's control-channel cache —
@@ -484,6 +489,35 @@ class RTMClient:
 
     def profile_stop(self) -> None:
         self._post("/api/profile/stop")
+
+    # -- continuous profiling / overhead attribution -----------------------
+    def profile_windows(self, last: int = 0) -> Dict[str, Any]:
+        """Rolling-profiler status + the most recent window digests."""
+        return self._get("/api/profile/windows", last=last)
+
+    def profile_attribution(self, last: int = 0,
+                            top: int = 20) -> Dict[str, Any]:
+        """Overhead decomposed by named layer over recent windows."""
+        return self._get("/api/profile/attribution", last=last, top=top)
+
+    def profile_export(self, format: str = "speedscope",
+                       last: int = 0) -> Any:
+        """A collapsed-stack text or speedscope/summary JSON export."""
+        params: Dict[str, Any] = {"format": format, "last": last}
+        if format == "collapsed":
+            return self._call("GET", "/api/profile/export", params,
+                              parse_json=False)
+        return self._call("GET", "/api/profile/export", params)
+
+    def profile_continuous_start(self, **config) -> Dict[str, Any]:
+        """Start (creating if needed) the continuous profiler;
+        ``interval``/``window_seconds``/``ring``/``backoff_after``/
+        ``max_interval`` are forwarded as query parameters."""
+        return self._post("/api/profile/continuous", action="start",
+                          **config)
+
+    def profile_continuous_stop(self) -> Dict[str, Any]:
+        return self._post("/api/profile/continuous", action="stop")
 
     def watch(self, component: str, path: str) -> int:
         return self._post("/api/watch", component=component,

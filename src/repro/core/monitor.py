@@ -40,6 +40,7 @@ from ..akita.component import Component, TickingComponent
 from ..akita.engine import Engine
 from ..akita.simulation import Simulation
 from ..metrics import MetricRegistry, SimMetrics
+from ..profile.threads import sim_thread_id
 from .alerts import AlertManager, AlertRule
 from .bottleneck import BufferAnalyzer
 from .hangdetect import HangDetector, HangStatus
@@ -67,7 +68,12 @@ class Monitor:
         self.metrics = MetricRegistry()
         self.values = ValueMonitor(registry=self.metrics)
         self.alerts = AlertManager(registry=self.metrics)
-        self.profiler = SamplingProfiler()
+        # Pinned to the simulation thread: the target is late-bound
+        # (the sim thread is whichever thread calls Engine.run, which
+        # registers itself), so server/SSE/watchdog threads are never
+        # attributed into the simulation profile.
+        self.profiler = SamplingProfiler(target_thread_id=sim_thread_id)
+        self.continuous = None  # set by attach/ensure_continuous_profiler
         self._abort_on_hang = False
         self.resources: Optional[ResourceMonitor] = None
         self.hang: Optional[HangDetector] = None
@@ -196,6 +202,35 @@ class Monitor:
                     "simulation metrics need a registered simulation")
             self.sim_metrics = SimMetrics(self._simulation, self.metrics)
         return self.sim_metrics
+
+    # ------------------------------------------------------------------
+    # Continuous profiling (the overhead-attribution plane)
+    # ------------------------------------------------------------------
+    def attach_continuous_profiler(self, profiler) -> None:
+        """Expose *profiler* over ``/api/profile/*``; its cumulative
+        layer attribution is published into the monitor's registry as
+        ``rtm_profile_layer_seconds_total``.  Replaces (and stops) any
+        previous one."""
+        if self.continuous is not None and self.continuous is not profiler:
+            self.continuous.stop()
+        self.continuous = profiler
+        profiler.bind_registry(self.metrics)
+
+    def ensure_continuous_profiler(self, **config):
+        """Return the continuous profiler, creating (but not starting)
+        it on first use.  Imported lazily so simulations that never
+        profile never load the profile package's machinery."""
+        if self.continuous is None:
+            from ..profile import ContinuousProfiler
+            self.attach_continuous_profiler(ContinuousProfiler(**config))
+        return self.continuous
+
+    def start_continuous_profiling(self, **config):
+        """Create (if needed) and start the always-on rolling
+        profiler; returns it."""
+        profiler = self.ensure_continuous_profiler(**config)
+        profiler.start()
+        return profiler
 
     def attach_checkpointer(self, checkpointer) -> None:
         """Expose *checkpointer* over ``/api/checkpoint`` and give the
@@ -475,6 +510,8 @@ class Monitor:
             self.sim_metrics.stop()
         if self.profiler.running:
             self.profiler.stop()
+        if self.continuous is not None and self.continuous.running:
+            self.continuous.stop()
 
     @property
     def url(self) -> Optional[str]:

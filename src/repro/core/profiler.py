@@ -63,10 +63,19 @@ class ProfileReport:
 
 
 class SamplingProfiler:
-    """Interval-sampling profiler of one target thread."""
+    """Interval-sampling profiler of one target thread.
+
+    ``target_thread_id`` may be an int ident, or a **callable**
+    returning one: the simulation thread is whichever thread ends up
+    calling ``Engine.run`` and is therefore unknown when the monitor
+    (and this profiler) is constructed.  Passing e.g.
+    :func:`repro.profile.threads.sim_thread_id` late-binds the pin —
+    each sample resolves the target afresh, so the profiler follows
+    the registration.  When the target resolves to None, every thread
+    is sampled (the historical behavior)."""
 
     def __init__(self, interval: float = 0.005,
-                 target_thread_id: Optional[int] = None):
+                 target_thread_id=None):
         self.interval = interval
         self.target_thread_id = target_thread_id
         self._functions: Dict[str, FunctionStats] = {}
@@ -103,15 +112,21 @@ class SamplingProfiler:
         if self._stopped_at is None:
             self._stopped_at = time.monotonic()
 
+    def _resolve_target(self) -> Optional[int]:
+        target = self.target_thread_id
+        if callable(target):
+            return target()
+        return target
+
     def _run(self) -> None:
         me = threading.get_ident()
         while not self._stop.wait(self.interval):
+            target = self._resolve_target()
             frames = sys._current_frames()
             for thread_id, frame in frames.items():
                 if thread_id == me:
                     continue
-                if (self.target_thread_id is not None
-                        and thread_id != self.target_thread_id):
+                if target is not None and thread_id != target:
                     continue
                 self._record(frame)
             self._samples += 1

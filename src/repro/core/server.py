@@ -41,7 +41,11 @@ GET      /api/trace/follow?msg_id=I      one message's hops + path
 GET      /api/trace/export?format&path   JSONL / Perfetto export
 POST     /api/trace?action=start|stop|clear  control the tracer
 GET      /api/profile?top=K              profiler report (T4)
-POST     /api/profile/start|stop         control the profiler
+POST     /api/profile/start|stop         control the one-shot profiler
+GET      /api/profile/windows?last=N     rolling-profiler window ring
+GET      /api/profile/attribution?last   overhead decomposed by layer
+GET      /api/profile/export?format=F    collapsed / speedscope export
+POST     /api/profile/continuous?action  start|stop the rolling profiler
 POST     /api/pause | /api/continue      simulation control
 POST     /api/kickstart                  resume a dry run loop
 POST     /api/throttle?events_per_second slow down time (§V-C)
@@ -285,7 +289,17 @@ class _Handler(JSONRequestHandler):
                 report = monitor.profiler.report(top)
                 payload = report.to_dict()
                 payload["running"] = monitor.profiler.running
+                payload["continuous"] = (
+                    monitor.continuous.status()
+                    if monitor.continuous is not None
+                    else {"running": False})
                 self._send_json(payload)
+            elif path == "/api/profile/windows":
+                self._get_profile_windows(params)
+            elif path == "/api/profile/attribution":
+                self._get_profile_attribution(params)
+            elif path == "/api/profile/export":
+                self._get_profile_export(params)
             elif path == "/api/watches":
                 monitor.values.sample_all(monitor.now())
                 self._send_json({"watches": monitor.values.to_dict()})
@@ -460,6 +474,100 @@ class _Handler(JSONRequestHandler):
             raise BadRequest(
                 f"action must be 'start' or 'stop', got {action!r}")
 
+    # -- continuous profiling ------------------------------------------------
+    def _require_continuous(self):
+        profiler = self.monitor.continuous
+        if profiler is None:
+            self._send_error_json(
+                "continuous profiler not attached; "
+                "POST /api/profile/continuous?action=start", 404)
+            return None
+        return profiler
+
+    @staticmethod
+    def _last_param(params: Dict[str, str]) -> Optional[int]:
+        last = _int_param(params, "last", 0)
+        if last < 0:
+            raise BadRequest("parameter 'last' must be >= 0")
+        return last or None
+
+    def _get_profile_windows(self, params: Dict[str, str]) -> None:
+        profiler = self._require_continuous()
+        if profiler is None:
+            return
+        last = self._last_param(params)
+        self._send_json({"status": profiler.status(),
+                         "windows": profiler.windows(last)})
+
+    def _get_profile_attribution(self, params: Dict[str, str]) -> None:
+        profiler = self._require_continuous()
+        if profiler is None:
+            return
+        last = self._last_param(params)
+        top = _int_param(params, "top", 20)
+        self._send_json(profiler.attribution(last, top=top))
+
+    def _get_profile_export(self, params: Dict[str, str]) -> None:
+        profiler = self._require_continuous()
+        if profiler is None:
+            return
+        fmt = params.get("format", "speedscope")
+        last = self._last_param(params)
+        if fmt == "collapsed":
+            text = profiler.collapsed(last, role=params.get("role"))
+            payload: Any = text
+            body = text.encode()
+            content_type = "text/plain; charset=utf-8"
+        elif fmt == "speedscope":
+            payload = profiler.speedscope(last)
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        elif fmt == "summary":
+            payload = profiler.summary(last)
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        else:
+            raise BadRequest(
+                f"format must be 'collapsed', 'speedscope' or "
+                f"'summary', got {fmt!r}")
+        dest = params.get("path")
+        if dest is not None:
+            from .atomicio import atomic_write_text
+            atomic_write_text(
+                dest, payload if isinstance(payload, str)
+                else json.dumps(payload, indent=2))
+            self._send_json({"written": dest, "format": fmt})
+        else:
+            self._send_body(body, content_type)
+
+    def _post_profile_continuous(self, params: Dict[str, str]) -> None:
+        monitor = self.monitor
+        action = params.get("action", "")
+        if action == "start":
+            config: Dict[str, Any] = {}
+            for key in ("interval", "window_seconds", "backoff_after",
+                        "max_interval"):
+                if key in params:
+                    config[key] = _float_param(params, key)
+            if "ring" in params:
+                config["ring"] = _int_param(params, "ring", 15)
+            if monitor.continuous is None:
+                try:
+                    monitor.ensure_continuous_profiler(**config)
+                except ValueError as exc:
+                    raise BadRequest(str(exc)) from None
+            monitor.continuous.start()
+            self._send_json(monitor.continuous.status())
+        elif action == "stop":
+            profiler = self._require_continuous()
+            if profiler is None:
+                return
+            profiler.stop()
+            self._send_json(profiler.status())
+        else:
+            raise BadRequest(
+                f"action must be 'start' or 'stop', got {action!r}")
+
     # -- trace ---------------------------------------------------------------
     def _require_tracer(self):
         tracer = self.monitor.tracer
@@ -605,6 +713,8 @@ class _Handler(JSONRequestHandler):
             elif path == "/api/profile/stop":
                 monitor.profiler.stop()
                 self._send_json({"profiling": False})
+            elif path == "/api/profile/continuous":
+                self._post_profile_continuous(params)
             elif path == "/api/watch":
                 name = params.get("component", "")
                 value_path = params.get("path", "")

@@ -338,10 +338,50 @@ function renderBufferTable(buffers) {
   }));
 }
 
+/* Continuous profiler: one row per layer, bar width = share of the
+ * attributed seconds in the recent windows.  Silent when the run has
+ * no continuous profiler attached (the endpoint 404s). */
+const LAYER_COLORS = {
+  engine: "#cf222e", hooks: "#fb8f44", metrics: "#bf3989",
+  trace: "#8250df", faults: "#a40e26", server: "#0969da",
+  profiler: "#1a7f37", monitor: "#9a6700", fleet: "#57606a",
+  workload: "#2da44e", idle: "#d0d7de", other: "#8c959f",
+};
+
+function renderLayerBars(report) {
+  const container = $("layer-attribution");
+  const layers = Object.entries(report.layers || {});
+  const total = layers.reduce((acc, kv) => acc + kv[1], 0);
+  if (!layers.length || total <= 0) {
+    container.replaceChildren();
+    return;
+  }
+  container.replaceChildren(...layers.map(([name, seconds]) => {
+    const row = document.createElement("div");
+    row.className = "layerbar";
+    const share = 100 * seconds / total;
+    row.innerHTML =
+      `<span class="name">${name}</span>` +
+      `<span class="track"><span class="fill" style="width:${share.toFixed(1)}%;` +
+      `background:${LAYER_COLORS[name] || "#8c959f"}"></span></span>` +
+      `<span class="secs">${seconds.toFixed(2)}s</span>`;
+    return row;
+  }));
+}
+
+async function refreshLayerAttribution() {
+  try {
+    renderLayerBars(await api("/api/profile/attribution?last=5"));
+  } catch (e) {
+    $("layer-attribution").replaceChildren();
+  }
+}
+
 async function refreshRightPanel() {
   try {
     if (rightTab === "profile") {
       drawArcDiagram(await api("/api/profile?top=15"));
+      refreshLayerAttribution();
     } else {
       const data = await api(`/api/buffers?sort=${bufferSort}&top=30`);
       renderBufferTable(data.buffers);

@@ -7,6 +7,7 @@ port.  The :class:`FleetGateway` is the stable front door:
 Method   Path                                 Purpose
 =======  ===================================  ==========================
 GET      /api/fleet                           workers, jobs, retries
+GET      /api/fleet/profile                   campaign-wide merged profile
 GET      /api/fleet/jobs/<job>/metrics        one job's final exposition
 GET      /api/fleet/<worker>/<rest...>        reverse proxy to worker
 POST     /api/fleet/<worker>/<rest...>        (same — control actions)
@@ -88,6 +89,9 @@ class _GatewayHandler(JSONRequestHandler):
                 self._send_body(body, _PROM_CONTENT_TYPE)
             elif path == "/api/fleet" and method == "GET":
                 self._send_json(self.gateway.status())
+            elif path == "/api/fleet/profile" and method == "GET":
+                self._send_json(
+                    self.gateway.campaign_profile(params))
             elif (path == "/api/historian/stream"
                   and method == "GET"):
                 self._historian_stream(params)
@@ -364,6 +368,31 @@ class FleetGateway(HTTPServerThread):
             body += (f"# worker {worker_id} unreachable: "
                      f"{error}\n")
         return body
+
+    def campaign_profile(self, params: Optional[Dict[str, str]] = None
+                         ) -> Dict[str, Any]:
+        """The campaign-wide profile: every job's control-channel
+        profile summary merged into one attribution view.  With
+        ``?format=speedscope`` the merged stacks are returned as one
+        loadable speedscope document instead."""
+        from ..profile import merge_summaries, speedscope_document, \
+            summary_stack_map
+        profiles = self.manager.profiles()
+        merged = merge_summaries(
+            entry["summary"] for _, entry in sorted(profiles.items()))
+        fmt = (params or {}).get("format", "summary")
+        if fmt == "speedscope":
+            return speedscope_document(summary_stack_map(merged),
+                                       name="fleet campaign profile")
+        if fmt != "summary":
+            raise BadRequest(
+                f"format must be 'summary' or 'speedscope', got {fmt!r}")
+        return {
+            "jobs": {job_id: {"worker_id": entry.get("worker_id"),
+                              "attempt": entry.get("attempt", 0)}
+                     for job_id, entry in sorted(profiles.items())},
+            "profile": merged,
+        }
 
     def job_metrics(self, job_id: str) -> Optional[str]:
         """One job's final exposition, ``(worker, job)``-labelled like

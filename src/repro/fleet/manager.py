@@ -168,6 +168,11 @@ class FleetManager:
         #: dispatched with ``resume_from`` pointing here, so the new
         #: attempt restarts from the snapshot instead of t=0.
         self._job_checkpoints: Dict[str, Dict[str, Any]] = {}
+        #: job_id -> {"worker_id", "attempt", "summary"}: per-job
+        #: continuous-profile digests shipped through the control
+        #: channel (latest attempt wins), merged by the gateway into
+        #: the campaign-wide /api/fleet/profile.
+        self._profiles: Dict[str, Dict[str, Any]] = {}
         self._events: "queue_module.Queue" = queue_module.Queue()
         self._spawned = 0
         self._restarts_used = 0
@@ -330,6 +335,15 @@ class FleetManager:
                         "final-metrics", job_id=job_id,
                         worker_id=handle.worker_id,
                         attempt=event.get("attempt", 0), text=text)
+        elif kind == "profile-summary":
+            job_id = event.get("job_id")
+            summary = event.get("summary")
+            if job_id and summary:
+                self._profiles[job_id] = {
+                    "worker_id": handle.worker_id,
+                    "attempt": event.get("attempt", 0),
+                    "summary": summary,
+                }
         elif kind in ("done", "failed"):
             handle.result = event
             self._settle_job(handle, event)
@@ -627,6 +641,14 @@ class FleetManager:
         with self._lock:
             return {job_id: dict(entry)
                     for job_id, entry in self._final_metrics.items()}
+
+    def profiles(self) -> Dict[str, Dict[str, Any]]:
+        """job_id -> {worker_id, attempt, summary}: the continuous-
+        profile digest of every job that shipped one (latest attempt
+        wins) — the raw material of the campaign-wide profile."""
+        with self._lock:
+            return {job_id: dict(entry)
+                    for job_id, entry in self._profiles.items()}
 
     def status(self) -> Dict[str, Any]:
         with self._lock:

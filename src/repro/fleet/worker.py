@@ -40,6 +40,10 @@ modes:
   the gateway's per-job cache is complete by the time the job is
   marked terminal — a scrape racing the completion can never observe
   a completed job with no series.
+* ``profile-summary`` — ``{job_id, attempt, summary}``: the job's
+  continuous-profile digest (layers, top functions, top stacks),
+  emitted before the result when ``--profile`` is on so the gateway's
+  campaign-wide profile is complete by the time the job is terminal.
 * ``done`` / ``failed`` — the result: ``{job_id, attempt, ok,
   run_state, sim_time, events, watchdog, fault_stats, trace}``.
 
@@ -89,7 +93,9 @@ class WorkerSettings:
                  snapshot_dir: Optional[str] = None,
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_events: int = 0,
-                 checkpoint_interval: float = 0.0):
+                 checkpoint_interval: float = 0.0,
+                 profile: bool = False,
+                 profile_interval: float = 0.02):
         self.stall_threshold = stall_threshold
         self.watchdog_interval = watchdog_interval
         self.hang_wait = hang_wait
@@ -100,6 +106,10 @@ class WorkerSettings:
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_events = int(checkpoint_events)
         self.checkpoint_interval = float(checkpoint_interval)
+        #: Run every job under the continuous profiler and ship a
+        #: profile summary up the control channel.
+        self.profile = bool(profile)
+        self.profile_interval = float(profile_interval)
 
     @property
     def checkpointing(self) -> bool:
@@ -115,7 +125,9 @@ class WorkerSettings:
                    snapshot_dir=args.snapshot_dir,
                    checkpoint_dir=args.checkpoint_dir,
                    checkpoint_events=args.checkpoint_events,
-                   checkpoint_interval=args.checkpoint_interval)
+                   checkpoint_interval=args.checkpoint_interval,
+                   profile=args.profile,
+                   profile_interval=args.profile_interval)
 
 
 def _arm_fault(monitor: Monitor, spec: JobSpec) -> None:
@@ -271,6 +283,12 @@ def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
         # Instrument from t=0 so the federated scrape carries the whole
         # run, not just whatever happened after the first scrape.
         monitor.ensure_sim_metrics().start()
+        if settings.profile:
+            # Short fleet jobs want short windows: a one-window job
+            # would otherwise summarize as an empty ring.
+            monitor.start_continuous_profiling(
+                interval=settings.profile_interval,
+                window_seconds=1.0)
         if resume is not None and "error" not in resume:
             monitor.metrics.counter(
                 "rtm_job_resumes_total",
@@ -328,6 +346,14 @@ def _execute_job(spec: JobSpec, attempt: int, server: RTMServer,
         "checkpoints": (checkpointer.status()
                         if checkpointer is not None else None),
     }
+    if monitor.continuous is not None:
+        # Stop sampling, then ship the job's profile digest ahead of
+        # the result (like final-metrics: the gateway's campaign
+        # profile must be complete when the job goes terminal).
+        monitor.continuous.stop()
+        emit({"event": "profile-summary", "job_id": spec.job_id,
+              "attempt": attempt,
+              "summary": monitor.continuous.summary()})
     # Final exposition first (see module docstring: the gateway's
     # per-job cache must be complete before the job goes terminal).
     emit({"event": "final-metrics", "job_id": spec.job_id,
@@ -350,6 +376,8 @@ def _teardown(monitor: Monitor) -> None:
         monitor.sim_metrics.stop()
     if monitor.profiler.running:
         monitor.profiler.stop()
+    if monitor.continuous is not None and monitor.continuous.running:
+        monitor.continuous.stop()
 
 
 class _AbortCurrent:
@@ -495,6 +523,11 @@ def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
     parser.add_argument("--resume-from", default=None,
                         help="one-shot mode: restore this checkpoint "
                              "instead of starting at t=0")
+    parser.add_argument("--profile", action="store_true",
+                        help="run every job under the continuous "
+                             "profiler; ship profile summaries upstream")
+    parser.add_argument("--profile-interval", type=float, default=0.02,
+                        help="continuous-profiler sampling interval")
     return parser.parse_args(argv)
 
 

@@ -9,8 +9,10 @@ manager's settled views):
   any registry), persist a per-family totals record, and evaluate the
   alert-rule engine against the parsed families;
 * harvest newly-terminal jobs from the fleet manager — outcome, final
-  exposition, and any watchdog post-mortem (failure post-mortems carry
-  the ``resume_checkpoint`` and trace-window pointers);
+  exposition, any watchdog post-mortem (failure post-mortems carry
+  the ``resume_checkpoint`` and trace-window pointers), and, when the
+  workers profiled, the job's continuous-profiling summary as a
+  ``profile`` record;
 * every ``prune_interval`` seconds, run the retention sweep as an
   idle-time chore.
 
@@ -93,6 +95,7 @@ class HistorianService:
         self.snapshots_recorded = 0
         self._recorded_jobs: Dict[str, str] = {}  # job_id -> state
         self._postmortems_recorded = 0
+        self._profiles_recorded = 0
         self._last_prune = time.monotonic()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -193,6 +196,8 @@ class HistorianService:
         watchdog verdicts as ``postmortem`` records."""
         status = self.manager.status()
         finals = self.manager.final_metrics()
+        profiles = (self.manager.profiles()
+                    if hasattr(self.manager, "profiles") else {})
         for job in status.get("jobs", []):
             job_id = job.get("spec", {}).get("job_id")
             state = job.get("state")
@@ -218,6 +223,16 @@ class HistorianService:
                             if k in result},
                  "metrics_text": final.get("text")},
                 name=job_id)
+            profile = profiles.get(job_id)
+            if profile and profile.get("summary"):
+                self.historian.record(
+                    self.campaign_id, "profile",
+                    {"state": state,
+                     "attempt": profile.get("attempt"),
+                     "worker_id": profile.get("worker_id"),
+                     "summary": profile["summary"]},
+                    name=job_id)
+                self._profiles_recorded += 1
             self._record_postmortems(job_id, job, result)
 
     def _record_postmortems(self, job_id: str, job: Dict[str, Any],
@@ -249,6 +264,7 @@ class HistorianService:
             "snapshots_recorded": self.snapshots_recorded,
             "jobs_recorded": len(self._recorded_jobs),
             "postmortems_recorded": self._postmortems_recorded,
+            "profiles_recorded": self._profiles_recorded,
             "rules": [rule.to_dict() for rule in self.engine.rules],
             "transitions": len(self.engine.transitions),
             "retention": [

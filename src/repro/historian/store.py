@@ -42,7 +42,7 @@ from ..metrics.exposition import family_total, parse_exposition
 __all__ = ["Historian", "RetentionPolicy", "RECORD_KINDS"]
 
 #: The record kinds the historian persists (also the retention axis).
-RECORD_KINDS = ("snapshot", "job", "postmortem", "alert")
+RECORD_KINDS = ("snapshot", "job", "postmortem", "alert", "profile")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -333,6 +333,13 @@ class Historian:
             latest[record["name"]] = record
         return [latest[name] for name in sorted(latest)]
 
+    def profiles(self, campaign_id: str) -> List[Dict[str, Any]]:
+        """One profile record per job of *campaign_id* (latest wins)."""
+        latest: Dict[str, Dict[str, Any]] = {}
+        for record in self.query(campaign_id, kind="profile", limit=0):
+            latest[record["name"]] = record
+        return [latest[name] for name in sorted(latest)]
+
     def postmortems(self, campaign_id: str) -> List[Dict[str, Any]]:
         return self.query(campaign_id, kind="postmortem", limit=0)
 
@@ -371,6 +378,12 @@ class Historian:
         family across the campaign's jobs — the "did this change
         regress X?" primitive.  Families only one side has land in
         ``only_a``/``only_b``.
+
+        When either campaign carries ``profile`` records (continuous
+        profiling summaries shipped by fleet workers) the result also
+        gains a ``profile`` section: per-layer ``{a, b, delta, ratio}``
+        seconds plus the functions whose self time moved most — the
+        per-layer overhead regression primitive.
         """
         sides = {}
         for key, campaign_id in (("a", campaign_a), ("b", campaign_b)):
@@ -405,7 +418,7 @@ class Historian:
                 entry["delta"] = b - a
                 entry["ratio"] = (b / a) if a else None
             families[family_name] = entry
-        return {
+        result = {
             "a": {"campaign_id": campaign_a,
                   "jobs": sides["a"]["jobs"]},
             "b": {"campaign_id": campaign_b,
@@ -414,6 +427,29 @@ class Historian:
             "only_a": sorted(set(totals_a) - set(totals_b)),
             "only_b": sorted(set(totals_b) - set(totals_a)),
         }
+        profile = self._compare_profiles(campaign_a, campaign_b)
+        if profile is not None:
+            result["profile"] = profile
+        return result
+
+    def _compare_profiles(self, campaign_a: str, campaign_b: str
+                          ) -> Optional[Dict[str, Any]]:
+        """Per-layer/per-function diff of the campaigns' profile
+        records, or None when neither side recorded any."""
+        from ..profile import diff_summaries, merge_summaries
+        merged = {}
+        counts = {}
+        for key, campaign_id in (("a", campaign_a), ("b", campaign_b)):
+            summaries = [record["payload"].get("summary") or {}
+                         for record in self.profiles(campaign_id)]
+            summaries = [s for s in summaries if s]
+            counts[key] = len(summaries)
+            merged[key] = merge_summaries(summaries) if summaries else None
+        if merged["a"] is None and merged["b"] is None:
+            return None
+        diff = diff_summaries(merged["a"] or {}, merged["b"] or {})
+        diff["jobs_profiled"] = counts
+        return diff
 
     # ------------------------------------------------------------------
     # Retention

@@ -1,0 +1,44 @@
+"""`repro.profile` — the continuous-profiling / overhead-attribution
+plane layered over :mod:`repro.core.profiler`.
+
+Import-light on purpose: :mod:`repro.akita.engine` registers the
+simulation thread through :mod:`repro.profile.threads` on every
+``run()``, so nothing in this package may import ``repro.core`` or
+``repro.akita`` (directly or transitively).
+"""
+
+from .attribution import (IDLE_LEAVES, LAYERS, PATH_RULES,
+                          attribution_report, classify_frame,
+                          classify_path, classify_stack, diff_summaries,
+                          make_summary, merge_summaries,
+                          summary_stack_map)
+from .continuous import ContinuousProfiler, ProfileWindow
+from .export import (SPEEDSCOPE_SCHEMA, collapsed_stacks, frame_label,
+                     speedscope_document)
+from .threads import (register_current_thread, role_of, sim_thread_id,
+                      thread_roles, unregister_thread)
+
+__all__ = [
+    "IDLE_LEAVES",
+    "LAYERS",
+    "PATH_RULES",
+    "SPEEDSCOPE_SCHEMA",
+    "ContinuousProfiler",
+    "ProfileWindow",
+    "attribution_report",
+    "classify_frame",
+    "classify_path",
+    "classify_stack",
+    "collapsed_stacks",
+    "diff_summaries",
+    "frame_label",
+    "make_summary",
+    "merge_summaries",
+    "register_current_thread",
+    "role_of",
+    "sim_thread_id",
+    "speedscope_document",
+    "summary_stack_map",
+    "thread_roles",
+    "unregister_thread",
+]

@@ -1,0 +1,393 @@
+"""The continuous profiling plane: an always-on rolling profiler.
+
+Where :class:`repro.core.profiler.SamplingProfiler` is the paper's
+one-shot panel — start, look, stop, report dies with the process —
+this profiler is designed to run for the whole life of a campaign:
+
+* it keeps a **ring of fixed-duration profile windows** instead of one
+  global aggregate, so "what was the simulation doing in the last
+  thirty seconds" is answerable at any time without ever restarting;
+* every sample is labeled with its **thread role** (simulation,
+  server, monitor, …) via :mod:`repro.profile.threads`, so the server
+  thread's time can never masquerade as simulation time;
+* every sampled stack is **attributed to a layer** (folded in at
+  window close so classification runs once per unique stack, not once
+  per sample), feeding the cumulative
+  ``rtm_profile_layer_seconds_total{layer=,thread=}`` registry family
+  — the overhead decomposition rides ``/metrics``, SSE, federation and
+  alert rules like any other family;
+* when nobody has read a profile for a while it **backs off** its
+  sampling rate geometrically (an unread profiler should cost
+  approximately nothing); any read resets it to the base rate.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from . import threads as _threads
+from .attribution import (Stack, attribution_report, classify_stack,
+                          make_summary)
+from .export import collapsed_stacks, speedscope_document
+
+
+class ProfileWindow:
+    """One fixed-duration slice of the rolling profile."""
+
+    __slots__ = ("index", "wall_started", "started", "duration",
+                 "samples", "stacks")
+
+    def __init__(self, index: int, started: float, wall_started: float):
+        self.index = index
+        self.started = started
+        self.wall_started = wall_started
+        self.duration = 0.0
+        self.samples = 0
+        #: thread role -> leaf-first stack -> seconds
+        self.stacks: Dict[str, Dict[Stack, float]] = {}
+
+    def record(self, role: str, stack: Stack, dt: float) -> None:
+        per = self.stacks.get(role)
+        if per is None:
+            per = self.stacks[role] = {}
+        per[stack] = per.get(stack, 0.0) + dt
+
+    def summary(self) -> Dict[str, Any]:
+        """A small per-window digest (the ``/api/profile/windows``
+        row): when it ran, how much it saw, where the time went."""
+        layers: Dict[str, float] = {}
+        for per_stack in self.stacks.values():
+            for stack, seconds in per_stack.items():
+                layer = classify_stack(stack)
+                layers[layer] = layers.get(layer, 0.0) + seconds
+        return {
+            "index": self.index,
+            "wall_started": round(self.wall_started, 3),
+            "duration": round(self.duration, 3),
+            "samples": self.samples,
+            "threads": {role: round(sum(per.values()), 4)
+                        for role, per in self.stacks.items()},
+            "layers": {layer: round(sec, 4)
+                       for layer, sec in sorted(layers.items(),
+                                                key=lambda kv: -kv[1])},
+        }
+
+
+class ContinuousProfiler:
+    """Always-on low-rate rolling profiler over every thread of
+    interest, with adaptive back-off when nobody is reading."""
+
+    def __init__(self, interval: float = 0.02,
+                 window_seconds: float = 2.0,
+                 ring: int = 15,
+                 backoff_after: float = 30.0,
+                 max_interval: float = 0.25):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if ring < 1:
+            raise ValueError("ring must hold at least one window")
+        self.interval = interval
+        self.window_seconds = window_seconds
+        self.backoff_after = backoff_after
+        self.max_interval = max(max_interval, interval)
+        self._ring: Deque[ProfileWindow] = deque(maxlen=ring)
+        self._window: Optional[ProfileWindow] = None
+        self._windows_opened = 0
+        self._samples_total = 0
+        self._started_at = 0.0
+        #: cumulative (thread role, layer) -> seconds over *closed*
+        #: windows, never reset while running: the monotonically
+        #: increasing counter family (readers add the open window).
+        self._layer_totals: Dict[tuple, float] = {}
+        self._role_cache: Dict[int, str] = {}
+        #: code object -> (name, path, firstlineno): frames are rebuilt
+        #: on every sample but their code objects are long-lived, so
+        #: interning keeps the sample path nearly allocation-free.
+        self._frame_cache: Dict[Any, tuple] = {}
+        #: leaf-first stack -> layer memo for the window-close fold.
+        self._stack_layers: Dict[Stack, str] = {}
+        self._last_touch = time.monotonic()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._registry = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Begin continuous sampling.  Idempotent."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self._last_touch = self._started_at
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="rtm-cprofiler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling; the ring and totals stay readable."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        with self._lock:
+            self._close_window(time.monotonic())
+
+    def touch(self) -> None:
+        """Note that somebody is reading: resets the back-off."""
+        self._last_touch = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Sampling loop
+    # ------------------------------------------------------------------
+    @property
+    def effective_interval(self) -> float:
+        """The interval the sampler is using right now: the base rate
+        while read, doubling per idle ``backoff_after`` period up to
+        ``max_interval`` once nobody looks."""
+        idle = time.monotonic() - self._last_touch
+        if idle <= self.backoff_after:
+            return self.interval
+        periods = min(8, int(idle / self.backoff_after))
+        return min(self.max_interval, self.interval * (2 ** periods))
+
+    def _loop(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.effective_interval):
+            self._sample(me)
+
+    def _sample(self, me: int) -> None:
+        dt = self.effective_interval
+        now = time.monotonic()
+        frames = sys._current_frames()
+        with self._lock:
+            window = self._window
+            if window is None or \
+                    now - window.started >= self.window_seconds:
+                self._close_window(now)
+                window = self._open_window(now)
+            for thread_id, frame in frames.items():
+                if thread_id == me:
+                    continue
+                role = self._role_of(thread_id)
+                stack = self._walk(frame)
+                if not stack:
+                    continue
+                window.record(role, stack, dt)
+            window.samples += 1
+            self._samples_total += 1
+
+    def _open_window(self, now: float) -> ProfileWindow:
+        self._windows_opened += 1
+        self._window = ProfileWindow(self._windows_opened, now,
+                                     time.time())
+        # Thread roles can change between windows (a new run() pins the
+        # simulation role to a new thread); re-resolve lazily.
+        self._role_cache.clear()
+        return self._window
+
+    def _close_window(self, now: float) -> None:
+        if self._window is not None:
+            window = self._window
+            window.duration = max(0.0, now - window.started)
+            # Fold the window's stacks into the cumulative counter:
+            # classification runs here, once per unique stack per
+            # window, instead of on the 50 Hz sample path.
+            for key, sec in self._window_breakdown(window).items():
+                self._layer_totals[key] = \
+                    self._layer_totals.get(key, 0.0) + sec
+            self._ring.append(window)
+            self._window = None
+
+    def _window_breakdown(self, window: ProfileWindow) -> Dict[tuple, float]:
+        """(role, layer) -> seconds for one window (caller holds the
+        lock); stack classifications are memoized across windows."""
+        memo = self._stack_layers
+        if len(memo) > 8192:
+            memo.clear()
+        totals: Dict[tuple, float] = {}
+        for role, per_stack in window.stacks.items():
+            for stack, seconds in per_stack.items():
+                layer = memo.get(stack)
+                if layer is None:
+                    layer = memo[stack] = classify_stack(stack)
+                key = (role, layer)
+                totals[key] = totals.get(key, 0.0) + seconds
+        return totals
+
+    def _role_of(self, thread_id: int) -> str:
+        role = self._role_cache.get(thread_id)
+        if role is None:
+            name = ""
+            for thread in threading.enumerate():
+                if thread.ident == thread_id:
+                    name = thread.name
+                    break
+            role = _threads.role_of(thread_id, name)
+            self._role_cache[thread_id] = role
+        return role
+
+    def _walk(self, leaf_frame) -> Stack:
+        cache = self._frame_cache
+        stack: List[tuple] = []
+        append = stack.append
+        frame = leaf_frame
+        while frame is not None:
+            code = frame.f_code
+            entry = cache.get(code)
+            if entry is None:
+                entry = cache[code] = (code.co_name, code.co_filename,
+                                       code.co_firstlineno)
+            append(entry)
+            frame = frame.f_back
+        # Drop thread-bootstrap scaffolding at the base, like the
+        # one-shot profiler does.
+        while stack and stack[-1][1].endswith("threading.py"):
+            stack.pop()
+        return tuple(stack)
+
+    # ------------------------------------------------------------------
+    # Reading (every reader resets the back-off)
+    # ------------------------------------------------------------------
+    def _live_windows(self) -> List[ProfileWindow]:
+        """Ring + open window, oldest first (caller holds no lock)."""
+        with self._lock:
+            windows = list(self._ring)
+            if self._window is not None:
+                open_window = self._window
+                open_window.duration = max(
+                    0.0, time.monotonic() - open_window.started)
+                windows.append(open_window)
+            return windows
+
+    def windows(self, last: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Summaries of the most recent *last* windows (all by
+        default), oldest first."""
+        self.touch()
+        windows = self._live_windows()
+        if last is not None and last > 0:
+            windows = windows[-last:]
+        with self._lock:
+            return [w.summary() for w in windows]
+
+    def merged_stacks(self, last: Optional[int] = None
+                      ) -> Dict[str, Dict[Stack, float]]:
+        """One stack map folding the most recent *last* windows."""
+        self.touch()
+        windows = self._live_windows()
+        if last is not None and last > 0:
+            windows = windows[-last:]
+        merged: Dict[str, Dict[Stack, float]] = {}
+        with self._lock:
+            for window in windows:
+                for role, per_stack in window.stacks.items():
+                    out = merged.setdefault(role, {})
+                    for stack, seconds in per_stack.items():
+                        out[stack] = out.get(stack, 0.0) + seconds
+        return merged
+
+    def _span(self, last: Optional[int]) -> tuple:
+        windows = self._live_windows()
+        if last is not None and last > 0:
+            windows = windows[-last:]
+        duration = sum(w.duration for w in windows)
+        samples = sum(w.samples for w in windows)
+        return duration, samples
+
+    def attribution(self, last: Optional[int] = None,
+                    top: int = 20) -> Dict[str, Any]:
+        """The overhead-attribution report over recent windows."""
+        duration, samples = self._span(last)
+        report = attribution_report(self.merged_stacks(last),
+                                    duration, samples, top=top)
+        report["windows"] = min(len(self._ring)
+                                + (1 if self._window else 0),
+                                last or 10 ** 9)
+        return report
+
+    def summary(self, last: Optional[int] = None,
+                top_functions: int = 40,
+                top_stacks: int = 250) -> Dict[str, Any]:
+        """The compact digest that rides the fleet control channel and
+        the historian."""
+        duration, samples = self._span(last)
+        return make_summary(self.merged_stacks(last), duration, samples,
+                            top_functions=top_functions,
+                            top_stacks=top_stacks)
+
+    def collapsed(self, last: Optional[int] = None,
+                  role: Optional[str] = None) -> str:
+        return collapsed_stacks(self.merged_stacks(last), role=role)
+
+    def speedscope(self, last: Optional[int] = None,
+                   name: str = "repro profile") -> Dict[str, Any]:
+        return speedscope_document(self.merged_stacks(last), name=name)
+
+    def _cumulative_layer_totals(self) -> Dict[tuple, float]:
+        """Closed-window totals plus the open window (lock held)."""
+        totals = dict(self._layer_totals)
+        if self._window is not None:
+            for key, sec in self._window_breakdown(
+                    self._window).items():
+                totals[key] = totals.get(key, 0.0) + sec
+        return totals
+
+    def layer_totals(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative seconds per (thread role, layer) since start."""
+        with self._lock:
+            totals: Dict[str, Dict[str, float]] = {}
+            for (role, layer), seconds in \
+                    self._cumulative_layer_totals().items():
+                totals.setdefault(role, {})[layer] = round(seconds, 4)
+            return totals
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            kept = len(self._ring) + (1 if self._window else 0)
+        return {
+            "running": self.running,
+            "interval": self.interval,
+            "effective_interval": round(self.effective_interval, 4),
+            "backed_off": self.effective_interval > self.interval,
+            "window_seconds": self.window_seconds,
+            "ring": self._ring.maxlen,
+            "windows_kept": kept,
+            "windows_opened": self._windows_opened,
+            "samples": self._samples_total,
+        }
+
+    # ------------------------------------------------------------------
+    # Registry binding
+    # ------------------------------------------------------------------
+    def bind_registry(self, registry) -> None:
+        """Publish ``rtm_profile_layer_seconds_total{layer=,thread=}``
+        into *registry*: a pull-collector copies the cumulative layer
+        totals at scrape time, so the family rides ``/metrics``, SSE,
+        federation and alert rules with zero cost on the sample path."""
+        if self._registry is registry:
+            return
+        counter = registry.counter(
+            "rtm_profile_layer_seconds_total",
+            "Sampled wall seconds attributed to each monitoring layer, "
+            "by thread role.", ("layer", "thread"))
+
+        def collect() -> None:
+            with self._lock:
+                totals = self._cumulative_layer_totals()
+            for (role, layer), seconds in totals.items():
+                counter.labels(layer, role).set(seconds)
+
+        registry.add_collector(collect)
+        self._registry = registry

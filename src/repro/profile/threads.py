@@ -1,0 +1,101 @@
+"""Process-wide registry of *threads of interest*.
+
+The sampling profilers need to know which thread is which: the paper's
+profiler panel (task T4) profiles the **simulation thread**, while the
+overhead-attribution plane also labels the server, sampler and watchdog
+threads so their cost shows up under their own name instead of being
+silently folded into the simulation profile.
+
+The simulation thread cannot be known at :class:`~repro.core.monitor.
+Monitor` construction time — it is simply *whichever thread ends up
+calling* :meth:`Engine.run`.  The engine therefore registers itself
+here on entry to ``run()`` (see ``akita/engine.py``), and the monitor
+pins its profiler to :func:`sim_thread_id` — a late-bound callable, so
+the pin resolves correctly even when the monitor is built first.
+
+Everything else is derived from thread names: the repo's own daemon
+threads follow a strict ``rtm-*`` naming discipline, which keeps this
+module dependency-free (it must be importable from ``akita`` without
+dragging in ``repro.core``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+_lock = threading.Lock()
+#: explicit registrations: thread ident -> role
+_roles: Dict[int, str] = {}
+
+#: thread-name prefix -> role, for threads nobody registered explicitly.
+_NAME_RULES = (
+    ("rtm-server", "server"),
+    ("rtm-http", "server"),
+    ("rtm-gateway", "server"),
+    ("rtm-sampler", "monitor"),
+    ("rtm-watchdog", "monitor"),
+    ("rtm-checkpoint", "monitor"),
+    ("rtm-historian", "monitor"),
+    ("rtm-profiler", "profiler"),
+    ("rtm-cprofiler", "profiler"),
+    ("MainThread", "main"),
+)
+
+
+def register_current_thread(role: str) -> int:
+    """Claim *role* for the calling thread; returns its ident.
+
+    Re-registering is cheap and expected: ``Engine.run`` calls this on
+    every entry, so a kick-started re-run (possibly from a different
+    thread) re-pins the simulation role to the thread actually running.
+    """
+    ident = threading.get_ident()
+    with _lock:
+        # One role, one thread: drop any stale claim by a previous
+        # thread (e.g. the last run's worker thread that has exited).
+        for tid in [t for t, r in _roles.items() if r == role]:
+            del _roles[tid]
+        _roles[ident] = role
+    return ident
+
+
+def unregister_thread(ident: Optional[int] = None) -> None:
+    with _lock:
+        _roles.pop(ident if ident is not None
+                   else threading.get_ident(), None)
+
+
+def sim_thread_id() -> Optional[int]:
+    """Ident of the thread currently holding the ``simulation`` role,
+    or None when no engine has run yet (profilers fall back to
+    sampling every thread, the pre-registration behavior)."""
+    with _lock:
+        for tid, role in _roles.items():
+            if role == "simulation":
+                return tid
+    return None
+
+
+def role_of(ident: int, name: str = "") -> str:
+    """Best-effort role label for a thread: explicit registration
+    first, then the ``rtm-*`` naming discipline, then ``other``."""
+    with _lock:
+        role = _roles.get(ident)
+    if role is not None:
+        return role
+    for prefix, mapped in _NAME_RULES:
+        if name.startswith(prefix):
+            return mapped
+    return "other"
+
+
+def thread_roles() -> Dict[int, str]:
+    """ident -> role for every live thread (registered or inferred)."""
+    roles: Dict[int, str] = {}
+    for thread in threading.enumerate():
+        ident = thread.ident
+        if ident is None:  # pragma: no cover - not yet started
+            continue
+        roles[ident] = role_of(ident, thread.name)
+    return roles

@@ -88,7 +88,7 @@ def test_row_to_dict(analyzer_with_boxes):
     row = analyzer.snapshot()[0]
     d = row.to_dict()
     assert d == {"buffer": "A.B0", "size": 1, "capacity": 4,
-                 "percent": 0.25}
+                 "percent": 0.25, "pinned": False}
 
 
 def test_figure4_chain_identifies_slow_component():

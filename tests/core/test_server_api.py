@@ -93,7 +93,8 @@ def test_buffers_endpoint_during_run(rig):
     # During a run some buffers held content; rows may be empty only if
     # we sampled an idle instant, so check the call shape instead.
     for row in rows:
-        assert set(row) == {"buffer", "size", "capacity", "percent"}
+        assert set(row) == {"buffer", "size", "capacity", "percent",
+                            "pinned"}
         assert 0 <= row["percent"] <= 1
 
 

@@ -1,0 +1,76 @@
+"""Fleet profiling: workers run the continuous profiler, ship their
+summaries up the control channel, and the gateway merges them into the
+campaign-wide ``/api/fleet/profile``.
+"""
+
+import json
+
+import pytest
+
+from repro.core import RTMClient, RTMClientError
+from repro.fleet import FleetGateway, FleetManager, JobQueue, JobSpec
+from repro.profile import LAYERS, SPEEDSCOPE_SCHEMA
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def profiled_campaign():
+    specs = [JobSpec(f"fir-c{chiplets}", "fir", chiplets=chiplets)
+             for chiplets in (1, 2)]
+    queue = JobQueue()
+    queue.submit_all(specs)
+    manager = FleetManager(
+        queue, num_workers=2,
+        worker_args=["--profile", "--profile-interval", "0.01"])
+    gateway = FleetGateway(manager)
+    gateway.start()
+    manager.start()
+    try:
+        assert manager.wait(timeout=300.0), \
+            f"campaign did not drain: {json.dumps(manager.status())}"
+        client = RTMClient(gateway.url)
+        yield manager, client
+    finally:
+        manager.stop()
+        gateway.stop()
+
+
+def test_every_job_ships_a_profile_summary(profiled_campaign):
+    manager, _ = profiled_campaign
+    profiles = manager.profiles()
+    assert set(profiles) == {"fir-c1", "fir-c2"}
+    for job_id, entry in profiles.items():
+        assert entry["worker_id"], job_id
+        summary = entry["summary"]
+        assert summary["samples"] > 0
+        assert summary["layers"]
+        assert set(summary["layers"]) <= set(LAYERS)
+
+
+def test_gateway_merges_campaign_profile(profiled_campaign):
+    _, client = profiled_campaign
+    doc = client.fleet_profile()
+    assert set(doc["jobs"]) == {"fir-c1", "fir-c2"}
+    merged = doc["profile"]
+    assert merged["jobs"] == 2
+    assert merged["samples"] > 0
+    # Worker jobs spend their active time in the simulator substrate.
+    layers = {k: v for k, v in merged["layers"].items()
+              if v > 0 and k != "idle"}
+    assert "engine" in layers
+
+
+def test_gateway_speedscope_format(profiled_campaign):
+    _, client = profiled_campaign
+    doc = json.loads(json.dumps(client.fleet_profile(
+        format="speedscope")))
+    assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+    assert doc["profiles"]
+    assert doc["shared"]["frames"]
+
+
+def test_gateway_rejects_unknown_format(profiled_campaign):
+    _, client = profiled_campaign
+    with pytest.raises(RTMClientError):
+        client.fleet_profile(format="bogus")

@@ -82,7 +82,7 @@ def test_unknown_kind_rejected(store):
     with pytest.raises(ValueError):
         store.record(cid, "banana", {})
     assert set(RECORD_KINDS) == {"snapshot", "job", "postmortem",
-                                 "alert"}
+                                 "alert", "profile"}
 
 
 def test_compare_names_every_job_and_diffs_families(store):

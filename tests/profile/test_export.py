@@ -1,0 +1,67 @@
+"""Collapsed-stack and speedscope exporters."""
+
+import json
+
+from repro.profile import (SPEEDSCOPE_SCHEMA, collapsed_stacks,
+                           frame_label, speedscope_document)
+
+ENGINE = ("run", "/repo/src/repro/akita/engine.py", 150)
+HOOKS = ("invoke_hooks", "/repo/src/repro/akita/hooks.py", 40)
+
+STACKS = {
+    "simulation": {
+        (HOOKS, ENGINE): 0.25,   # leaf-first on the way in
+        (ENGINE,): 0.5,
+    },
+    "server": {(("do_GET", "/x/repro/core/server.py", 9),): 0.1},
+}
+
+
+def test_frame_label_shortens_to_repro_tail():
+    assert frame_label(ENGINE) == "run (repro/akita/engine.py:150)"
+    assert frame_label(("f", "/usr/lib/python3.11/threading.py", 1)) \
+        == "f (threading.py:1)"
+
+
+def test_collapsed_stacks_root_first_with_role_prefix():
+    text = collapsed_stacks(STACKS)
+    lines = text.strip().splitlines()
+    # Hottest simulation stack: root frame first, weight in integer µs.
+    assert "simulation;run (repro/akita/engine.py:150) 500000" in lines
+    assert ("simulation;run (repro/akita/engine.py:150);"
+            "invoke_hooks (repro/akita/hooks.py:40) 250000") in lines
+    assert any(line.startswith("server;") for line in lines)
+
+
+def test_collapsed_stacks_role_filter_drops_prefix():
+    text = collapsed_stacks(STACKS, role="simulation")
+    lines = text.strip().splitlines()
+    assert len(lines) == 2
+    assert all(line.startswith("run (") for line in lines)
+
+
+def test_speedscope_document_is_valid_and_role_split():
+    doc = speedscope_document(STACKS, name="unit test")
+    # Must survive a JSON round trip (the artifact the CI uploads).
+    doc = json.loads(json.dumps(doc))
+    assert doc["$schema"] == SPEEDSCOPE_SCHEMA
+    assert doc["name"] == "unit test"
+    profiles = {p["name"]: p for p in doc["profiles"]}
+    assert set(profiles) == {"simulation", "server"}
+    sim = profiles["simulation"]
+    assert sim["type"] == "sampled"
+    assert sim["unit"] == "seconds"
+    assert len(sim["samples"]) == len(sim["weights"]) == 2
+    assert abs(sim["endValue"] - 0.75) < 1e-9
+    # Samples reference the shared frame table, root-first.
+    frames = doc["shared"]["frames"]
+    for sample in sim["samples"]:
+        assert all(0 <= idx < len(frames) for idx in sample)
+    two_deep = next(s for s in sim["samples"] if len(s) == 2)
+    assert frames[two_deep[0]]["name"].startswith("run (")
+    assert frames[two_deep[1]]["name"].startswith("invoke_hooks (")
+
+
+def test_speedscope_document_skips_empty_weights():
+    doc = speedscope_document({"simulation": {(ENGINE,): 0.0}})
+    assert doc["profiles"][0]["samples"] == []
