@@ -1,0 +1,127 @@
+"""Sharded-simulation speedup: N shard processes vs one monolithic run.
+
+The conservative window protocol only pays off if the per-window
+barrier + boundary-ferry overhead is small against the simulation work
+inside each window.  This benchmark runs one 4-chiplet StoreStorm
+workload monolithically, then sharded 2 and 4 ways, and reports the
+wall-clock ratios.  ``page_locality=4`` keeps each workgroup's stores
+on its own chiplet, the partitioning-friendly regime the tentpole
+targets (the equivalence suite covers the boundary-heavy default
+pattern).
+
+Shard-pool boot (one interpreter + full platform build per worker) is
+excluded via ``ShardResult.boot_seconds``, mirroring the fleet
+throughput benchmark: a long campaign pays boot once, and steady-state
+window throughput is what's measured.
+
+Gating is CPU-aware.  Shards are separate *processes*, so — unlike the
+warm fleet pool, whose win is fixed-cost deletion — the speedup here IS
+CPU parallelism, and a runner with fewer cores than shards physically
+cannot show it.  On such runners the benchmark still runs everything
+and instead gates the protocol's *overhead*: time-sliced shards must
+stay within ``_OVERHEAD_GATE`` of the monolithic wall (windows are big
+enough that barriers and ferrying cost little even with zero
+parallelism).  Either way committed instructions must match the
+monolithic run exactly — a fast wrong simulation gates nothing.
+
+``shard_speedup_summary.txt`` (committed at the repo root) is this
+file's output — regenerate it with::
+
+    PYTHONPATH=src python -m pytest \
+        benchmarks/test_shard_speedup.py -q -s
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.gpu.cu import ComputeUnit
+from repro.gpu.platform import GPUPlatform, GPUPlatformConfig
+from repro.shard import run_sharded
+from repro.workloads import StoreStorm
+
+pytestmark = pytest.mark.slow
+
+_CONFIG = GPUPlatformConfig.small(
+    num_chiplets=4, sas_per_gpu=4, cus_per_sa=4,
+    driver_conn_latency_cycles=20, net_msgs_per_cycle=8)
+_WORKLOAD = StoreStorm(num_workgroups=64, wavefronts_per_wg=4,
+                       stores_per_wavefront=32, page_locality=4)
+
+#: Parallel-speedup gates, applied when the runner has the cores.
+_GATES = {2: 1.5, 4: 2.2}
+#: Single-core fallback gate: sharded wall (boot excluded) must stay
+#: within this factor of monolithic — the protocol overhead bound.
+_OVERHEAD_GATE = 1.35
+
+
+def _cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _monolithic_timed():
+    platform = GPUPlatform(_CONFIG)
+    _WORKLOAD.enqueue(platform.driver)
+    start = time.perf_counter()
+    completed = platform.run()
+    wall = time.perf_counter() - start
+    assert completed, "monolithic run did not complete"
+    instructions = sum(c.num_instructions
+                       for c in platform.simulation.components
+                       if isinstance(c, ComputeUnit))
+    return wall, instructions
+
+
+def _sharded_timed(num_shards):
+    result = run_sharded(_CONFIG, _WORKLOAD, num_shards)
+    assert result.completed, f"{num_shards}-shard run did not complete"
+    return result.wall_seconds - result.boot_seconds, result
+
+
+def test_shard_speedup_over_monolithic():
+    cores = _cores()
+    mono_wall, mono_instructions = _monolithic_timed()
+    runs = {n: _sharded_timed(n) for n in sorted(_GATES)}
+
+    rows = [f"{'monolithic (baseline)':26s} {mono_wall:7.2f}s"]
+    for n, (wall, result) in runs.items():
+        gated = cores >= n
+        gate_note = (f"gate >= {_GATES[n]}x" if gated
+                     else f"<{n} cores: overhead gate <= "
+                          f"{_OVERHEAD_GATE}x mono")
+        rows.append(
+            f"{f'sharded, {n} workers':26s} {wall:7.2f}s  "
+            f"{mono_wall / wall:5.2f}x  windows={result.windows}  "
+            f"boundary_msgs={result.boundary_messages}  ({gate_note})")
+    summary = (
+        f"=== Shard speedup (storestorm wgs={_WORKLOAD.num_workgroups} "
+        f"wfs={_WORKLOAD.wavefronts_per_wg} "
+        f"stores={_WORKLOAD.stores_per_wavefront} "
+        f"page_locality={_WORKLOAD.page_locality}, "
+        f"{_CONFIG.num_chiplets} chiplets) ===\n"
+        f"runner cores: {cores} "
+        "(parallel gates engage when cores >= shards)\n"
+        "(shard-pool boot excluded from all timed regions)\n"
+        + "\n".join(rows) + "\n")
+    print("\n" + summary)
+    Path("shard_speedup_summary.txt").write_text(summary)
+
+    for n, (wall, result) in runs.items():
+        assert result.instructions == mono_instructions, (
+            f"{n} shards committed {result.instructions} instructions, "
+            f"monolithic committed {mono_instructions}\n" + summary)
+        if cores >= n:
+            speedup = mono_wall / wall
+            assert speedup >= _GATES[n], (
+                f"sharded at {n} workers: {speedup:.2f}x < "
+                f"{_GATES[n]}x gate\n" + summary)
+        else:
+            assert wall <= mono_wall * _OVERHEAD_GATE, (
+                f"sharded at {n} workers on {cores} core(s): "
+                f"{wall:.2f}s exceeds overhead gate "
+                f"{_OVERHEAD_GATE}x * {mono_wall:.2f}s\n" + summary)

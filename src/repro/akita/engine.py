@@ -54,6 +54,7 @@ class Engine(Hookable):
         self._terminated = False
         self._state = RunState.IDLE
         self._event_count = 0
+        self._last_event_time: VTimeInSec = 0.0
         self._throttle_delay = 0.0  # wall seconds inserted per event
 
     # ------------------------------------------------------------------
@@ -81,6 +82,24 @@ class Engine(Hookable):
     def pending_event_count(self) -> int:
         with self._lock:
             return len(self._queue)
+
+    @property
+    def next_event_time(self) -> Optional[VTimeInSec]:
+        """Timestamp of the earliest pending event, or ``None`` when the
+        queue is empty.  The quantity shards report at every window
+        barrier: the coordinator's grant horizon is the minimum of
+        these across shards plus the sync window."""
+        with self._lock:
+            return self._queue.next_time()
+
+    @property
+    def last_event_time(self) -> VTimeInSec:
+        """Time of the most recently processed event.  Unlike
+        :attr:`now` this never moves on a windowed clock clamp, so it
+        is the honest "how far did the simulation get" answer — a
+        shard's final solo grant parks :attr:`now` a full grant past
+        the last real event."""
+        return self._last_event_time
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -188,6 +207,7 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
+            self._last_event_time = event.time
             hooks = self._hooks
             if hooks:
                 ctx.now = self._now
@@ -214,6 +234,85 @@ class Engine(Hookable):
             self._state = RunState.ENDED
             self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_END))
         else:
+            self._state = RunState.DRY
+            self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_DRY))
+
+    def run_window(self, horizon: VTimeInSec) -> int:
+        """Process every event strictly before *horizon*, then stop.
+
+        The conservative-sync primitive of the sharded execution mode: a
+        shard granted the horizon ``T_min + W`` (minimum next event time
+        across shards plus the minimum cross-shard latency) may safely
+        run every event with ``time < horizon``, because no boundary
+        message from another shard can arrive earlier.  Events *at* the
+        horizon belong to the next window — cross-shard deliveries
+        injected at exactly ``T_min + W`` must order against them.
+
+        On return the clock has advanced to at least *horizon* (even if
+        the queue ran dry earlier), so post-window injections and wakes
+        can never be scheduled in the past.  The engine stays
+        ``RUNNING`` between windows — monitors should see one live
+        simulation, not a dry/running flap at every barrier.  Honors
+        pause requests and :meth:`terminate` like :meth:`run`.
+
+        Returns the number of events processed in this window.
+        """
+        if self._terminated:
+            return 0
+        if self._state is RunState.IDLE:
+            _register_sim_thread("simulation")
+            self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_START))
+        self._state = RunState.RUNNING
+        processed = 0
+        ctx = HookCtx(self, self._now, HookPos.BEFORE_EVENT)
+        while True:
+            if self._terminated:
+                break
+            if self._pause_requested:
+                self._state = RunState.PAUSED
+                self._resume.wait()
+                self._state = RunState.RUNNING
+                continue
+            with self._lock:
+                nxt = self._queue.next_time()
+                if nxt is None or nxt >= horizon:
+                    break
+                event = self._queue.pop()
+            self._now = event.time
+            self._last_event_time = event.time
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.BEFORE_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
+                if ctx.skip:
+                    continue
+            event.handler.handle(event)
+            self._event_count += 1
+            processed += 1
+            hooks = self._hooks
+            if hooks:
+                ctx.now = self._now
+                ctx.pos = HookPos.AFTER_EVENT
+                ctx.item = event
+                ctx.skip = False
+                for hook in hooks:
+                    hook(ctx)
+            if self._throttle_delay:
+                time.sleep(self._throttle_delay)
+        if self._terminated:
+            self._state = RunState.ENDED
+            self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_END))
+        else:
+            self._now = max(self._now, horizon)
+        return processed
+
+    def finish_windows(self) -> None:
+        """Mark the end of windowed execution (queue empty, run done)."""
+        if self._state is RunState.RUNNING:
             self._state = RunState.DRY
             self.invoke_hooks(HookCtx(self, self._now, HookPos.ENGINE_DRY))
 
@@ -257,6 +356,7 @@ class Engine(Hookable):
                     break
                 event = self._queue.pop()
             self._now = event.time
+            self._last_event_time = event.time
             hooks = self._hooks
             if hooks:
                 ctx.now = self._now

@@ -49,6 +49,15 @@ class Port:
             raise PortError(f"port {self.name} is already connected")
         self._connection = conn
 
+    def replace_connection(self, conn: "Connection") -> None:
+        """Rebind this port to *conn*, even if already connected.
+
+        Post-build rewiring only (the shard runtime swaps boundary
+        edges for proxy connections after the full platform is built);
+        never call this on a port with messages in flight.
+        """
+        self._connection = conn
+
     # -- sending -----------------------------------------------------------
     def can_send(self, msg: Msg) -> bool:
         """True if *msg* can be sent right now without overflowing the

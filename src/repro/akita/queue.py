@@ -1,11 +1,18 @@
-"""The event queue: a priority queue ordered by (time, secondary, id).
+"""The event queue: a priority queue ordered by (time, secondary, seq).
 
 Ordering rules
 --------------
 1. Earlier virtual time first.
 2. At equal time, primary events before secondary events.
-3. At equal time and class, lower event ID first (insertion order), which
-   makes runs bit-for-bit reproducible.
+3. At equal time and class, insertion order into *this queue* wins.
+   The tie-break is a per-queue sequence counter, not the process-global
+   event id: ids are minted by a global counter shared with every other
+   engine (and monitor thread) in the process, so two otherwise
+   identical runs could interleave ids differently and schedule
+   same-tick events in different orders.  The per-queue counter depends
+   only on what was pushed here, in what order — which is itself
+   deterministic — so runs are bit-for-bit reproducible, and a sharded
+   simulation can be checked for equivalence against a monolithic one.
 """
 
 from __future__ import annotations
@@ -21,13 +28,15 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, event: Event) -> None:
         """Insert *event*."""
-        key = (event.time, 1 if event.secondary else 0, event.id, event)
+        self._seq += 1
+        key = (event.time, 1 if event.secondary else 0, self._seq, event)
         heapq.heappush(self._heap, key)
 
     def pop(self) -> Event:

@@ -50,6 +50,14 @@ class Simulation:
         self._connections.append(conn)
         return conn
 
+    def deregister_component(self, name: str) -> Optional[Component]:
+        """Remove a component from the registry (shard pruning: a shard
+        builds the full platform for identical naming, then drops the
+        components other shards own from its monitored scope).  The
+        component object itself survives — dormant proxy replicas keep
+        their ports as stable message-address anchors."""
+        return self._components.pop(name, None)
+
     def component(self, name: str) -> Component:
         return self._components[name]
 
@@ -139,6 +147,13 @@ class Simulation:
     def kickstart(self) -> None:
         """Wake a run loop that parked on a dry queue (RTM *Kick Start*)."""
         self._dry_wake.set()
+
+    def mark_completed(self) -> None:
+        """Record that the workload finished, for drivers of the engine
+        other than :meth:`run` (the shard runtime steps the engine in
+        windows and learns about global completion from its
+        coordinator)."""
+        self._completed = True
 
     def abort(self) -> None:
         """Terminate the simulation from any thread."""

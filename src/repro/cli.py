@@ -45,7 +45,12 @@ from .gpu import GPUPlatform, GPUPlatformConfig
 from .metrics import rate as metrics_rate
 from .studies import run_study
 from .studies.session import problem_platform_config, problem_workload
-from .workloads import SUITE, suite_small
+from .workloads import SUITE, StoreStorm, suite_small
+
+#: What ``repro run`` (and friends) may execute: the paper's suite
+#: plus the StoreStorm diagnostic — the shard layer's reference
+#: workload, runnable directly since ``--shards`` landed.
+_RUNNABLE = sorted([*SUITE, "storestorm"])
 
 
 def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
@@ -107,13 +112,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one benchmark")
-    run.add_argument("workload", choices=sorted(SUITE),
+    run.add_argument("workload", choices=_RUNNABLE,
                      help="benchmark to execute")
     run.add_argument("--chiplets", type=int, default=2,
                      help="number of GPU chiplets (default 2)")
     run.add_argument("--full-scale", action="store_true",
                      help="use the paper's R9-Nano chiplets (64 CUs "
                           "each) instead of the scaled configuration")
+    run.add_argument("--shards", type=int, default=1,
+                     help="partition the platform across N worker "
+                          "processes with conservative time-window "
+                          "sync (default 1: in-process)")
     run.add_argument("--monitor", action="store_true",
                      help="attach AkitaRTM and print the dashboard URL")
     run.add_argument("--port", type=int, default=0,
@@ -397,12 +406,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = GPUPlatformConfig.r9_nano_mcm(
             num_chiplets=args.chiplets,
             l2_write_buffer_bug=args.buggy_l2)
-        workload = SUITE[args.workload]()
+        workload = (SUITE[args.workload]() if args.workload in SUITE
+                    else StoreStorm())
     else:
         config = GPUPlatformConfig.small(
             num_chiplets=args.chiplets,
             l2_write_buffer_bug=args.buggy_l2)
-        workload = suite_small()[args.workload]
+        workload = suite_small().get(args.workload) or StoreStorm()
+    if args.shards > 1:
+        return _run_sharded(args, config, workload)
     platform = GPUPlatform(config)
     run = workload.enqueue(platform.driver)
 
@@ -454,6 +466,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
               "exports flushed")
         return 0
     return 0 if ok else 1
+
+
+def _run_sharded(args: argparse.Namespace, config, workload) -> int:
+    """``repro run --shards N``: the conservative-sync sharded mode.
+
+    The coordinator's gateway (``--monitor``) federates every shard's
+    AkitaRTM dashboard behind one URL; progress lines sum the shards'
+    local workgroup counts (exact — each workgroup runs on exactly one
+    shard)."""
+    from .shard import ShardCoordinator
+    coordinator = ShardCoordinator(config, workload, args.shards,
+                                   monitor=args.monitor,
+                                   port=args.port)
+    box: dict = {}
+
+    def _drive() -> None:
+        try:
+            box["result"] = coordinator.run()
+        except Exception as exc:  # noqa: BLE001 - reported below
+            box["error"] = exc
+
+    thread = threading.Thread(target=_drive)
+    start = time.monotonic()
+    thread.start()
+    if args.monitor:
+        while thread.is_alive() and coordinator.dashboard_url is None:
+            time.sleep(0.05)
+        if coordinator.dashboard_url:
+            print(f"AkitaRTM federated dashboard: "
+                  f"{coordinator.dashboard_url}")
+    while thread.is_alive():
+        thread.join(timeout=args.progress_interval)
+        if not thread.is_alive():
+            break
+        bars = coordinator.merged_progress()
+        done = sum(b["completed"] for b in bars)
+        total = sum(b["total"] for b in bars)
+        status = coordinator.shard_status()
+        print(f"shards={args.shards} "
+              f"windows={status['windows']:,} wgs={done}/{total}")
+    thread.join()
+    coordinator.close()
+    if "error" in box:
+        print(f"error: {box['error']}", file=sys.stderr)
+        return 1
+    result = box["result"]
+    elapsed = time.monotonic() - start
+    print(f"{'completed' if result.completed else 'hung'} "
+          f"in {elapsed:.1f}s wall, "
+          f"{result.sim_time * 1e6:.2f}us simulated, "
+          f"{result.events:,} events on {result.num_shards} shards, "
+          f"{result.windows:,} windows, "
+          f"{result.boundary_messages:,} boundary messages")
+    return 0 if result.completed else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

@@ -49,7 +49,7 @@ import threading
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["CONTROL_PREFIX", "FrameDecoder", "emit",
-           "encode_command", "decode_command"]
+           "encode_command", "decode_command", "split_batches"]
 
 #: Marker distinguishing control-channel lines from ordinary stdout.
 CONTROL_PREFIX = "@fleet "
@@ -95,6 +95,42 @@ def decode_command(line: str) -> Optional[Dict[str, Any]]:
     return payload if isinstance(payload, dict) else None
 
 
+#: Sender-side batch budget: stay well under the decoder's line cap so
+#: one frame (items + envelope + prefix) can never trip it.
+_MAX_BATCH_BYTES = 1 * 1024 * 1024
+
+
+def split_batches(items: List[Any],
+                  max_bytes: int = _MAX_BATCH_BYTES) -> List[List[Any]]:
+    """Split *items* into chunks whose JSON encoding stays under
+    *max_bytes* each.
+
+    The decoder drops any buffered line above its 8 MB cap — silently
+    losing *every* item in an oversized frame.  Senders of unbounded
+    batches (a shard's boundary-message outbox can hold thousands of
+    encoded messages in a hot window) must therefore split *before*
+    framing.  A single item larger than the budget still travels as its
+    own chunk: splitting cannot shrink it, and the budget's headroom
+    under the line cap absorbs any realistic single message.
+    """
+    if max_bytes <= 0:
+        raise ValueError("max_bytes must be positive")
+    batches: List[List[Any]] = []
+    current: List[Any] = []
+    current_bytes = 2  # the enclosing "[]"
+    for item in items:
+        size = len(json.dumps(item)) + 2  # ", " separator headroom
+        if current and current_bytes + size > max_bytes:
+            batches.append(current)
+            current = []
+            current_bytes = 2
+        current.append(item)
+        current_bytes += size
+    if current:
+        batches.append(current)
+    return batches
+
+
 class FrameDecoder:
     """Incremental, damage-tolerant decoder for the event channel.
 
@@ -111,6 +147,11 @@ class FrameDecoder:
         self.errors = 0
         #: Non-control stdout lines seen (ordinary worker logging).
         self.noise = 0
+        #: Buffered lines dropped for exceeding the 8 MB cap.  Each one
+        #: is a whole lost frame — a sender that trips this is shipping
+        #: unsplit batches (see :func:`split_batches`) and the loss must
+        #: be visible, not silent.
+        self.oversized = 0
 
     def feed(self, chunk: bytes) -> List[Dict[str, Any]]:
         """Decode *chunk*; return every event it completes."""
@@ -124,6 +165,7 @@ class FrameDecoder:
                     # newlines) must not balloon the manager's memory.
                     self._buffer = ""
                     self.errors += 1
+                    self.oversized += 1
                 break
             self._buffer = rest
             event = self._parse_line(line)

@@ -101,6 +101,10 @@ class ComputeUnit(TickingComponent):
         self._completions: Deque[_WorkGroup] = deque()
         self.num_wgs_completed = 0
         self.num_mem_reqs = 0
+        # Committed instruction count: every wavefront op consumed is
+        # committed exactly once, regardless of memory-system timing —
+        # the timing-independent anchor of the shard equivalence check.
+        self.num_instructions = 0
 
     def connect(self, rob_top: Port, dispatcher_port: Port,
                 scalar_top: Optional[Port] = None) -> None:
@@ -197,6 +201,7 @@ class ComputeUnit(TickingComponent):
             wf.current_op = next(ops, None)
             if wf.current_op is not None:
                 wf.ops_consumed += 1
+                self.num_instructions += 1
             if wf.current_op is None:
                 if wf.outstanding == 0:
                     wf.finished = True

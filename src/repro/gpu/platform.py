@@ -91,6 +91,8 @@ class GPUPlatformConfig:
     # Host
     dma_bytes_per_cycle: int = 256
     page_bytes: int = 4096
+    #: Driver ↔ command-processor link latency (host PCIe-ish hop).
+    driver_conn_latency_cycles: int = 10
 
     def __post_init__(self) -> None:
         if self.num_chiplets <= 0:
@@ -103,6 +105,37 @@ class GPUPlatformConfig:
     @property
     def cus_per_gpu(self) -> int:
         return self.sas_per_gpu * self.cus_per_sa
+
+    @property
+    def shard_window_cycles(self) -> int:
+        """The conservative sync window: the minimum latency of any link
+        that can cross a shard boundary (driver↔CP and chiplet↔switch).
+        No boundary message sent at time *t* can arrive before
+        ``t + shard_window_cycles / freq``, so shards may safely run
+        that many cycles past the global minimum next-event time."""
+        return min(self.driver_conn_latency_cycles,
+                   self.net_link_latency_cycles)
+
+    def partition_chiplets(self, num_shards: int) -> List[List[int]]:
+        """Assign chiplets to shards: contiguous blocks, sizes differing
+        by at most one, every chiplet in exactly one shard.
+
+        Shard 0 additionally owns the host side (Driver and
+        InterChipletSwitch); ``num_shards == 1`` is the degenerate case
+        where shard 0 owns everything (the monolithic platform).
+        """
+        n = self.num_chiplets
+        if not 1 <= num_shards <= n:
+            raise ConfigurationError(
+                f"need 1..{n} shards for {n} chiplets, got {num_shards}")
+        base, extra = divmod(n, num_shards)
+        blocks: List[List[int]] = []
+        start = 0
+        for s in range(num_shards):
+            size = base + (1 if s < extra else 0)
+            blocks.append(list(range(start, start + size)))
+            start += size
+        return blocks
 
     @classmethod
     def r9_nano_mcm(cls, num_chiplets: int = 4,
@@ -232,8 +265,9 @@ class GPUPlatform:
             msgs_per_cycle=cfg.net_msgs_per_cycle)
         sim.register_component(self.switch)
 
-        driver_conn = DirectConnection("DriverConn", engine,
-                                       latency=10 / cfg.freq)
+        driver_conn = DirectConnection(
+            "DriverConn", engine,
+            latency=cfg.driver_conn_latency_cycles / cfg.freq)
         driver_conn.plug_in(self.driver.gpu_port)
         sim.register_connection(driver_conn)
 

@@ -130,6 +130,10 @@ class SimMetrics:
         self._m_cu_mem = reg.counter(
             "rtm_cu_mem_reqs_total",
             "Memory requests issued per compute unit.", ("component",))
+        self._m_cu_instr = reg.counter(
+            "rtm_cu_instructions_total",
+            "Instructions (wavefront ops) committed per compute unit.",
+            ("component",))
         # Self-overhead: Figure 7's decomposition as a live family.
         self._m_cb_count = reg.counter(
             "rtm_hook_callbacks_total",
@@ -313,3 +317,5 @@ class SimMetrics:
                 float(comp.num_wgs_completed))
             self._m_cu_mem.labels(name).set(
                 float(getattr(comp, "num_mem_reqs", 0)))
+            self._m_cu_instr.labels(name).set(
+                float(getattr(comp, "num_instructions", 0)))

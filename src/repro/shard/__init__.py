@@ -1,0 +1,57 @@
+"""Sharded simulation: one platform, many processes.
+
+Python's GIL caps a monolithic simulation at one core no matter how
+many threads it spawns, so the only road to parallel speedup is
+*processes* — and processes mean partitioning the platform and
+synchronizing virtual time conservatively across the boundary.  This
+package implements that execution mode:
+
+* :mod:`.partition` — name-based ownership: chiplet blocks per shard,
+  host side (driver, switch) on the hub shard 0.
+* :mod:`.boundary` — the wire codec for boundary-crossing messages,
+  the proxy :class:`ShardConnection` that exports remote sends, and
+  the :class:`BoundaryInjector` that lands ferried arrivals in
+  timestamp order.
+* :mod:`.runtime` — the per-process shard: build the full platform,
+  prune to the owned slice, rewire boundary edges, run in granted
+  windows.
+* :mod:`.worker` — the subprocess entry point
+  (``python -m repro.shard.worker``), speaking the fleet control
+  framing on its pipes.
+* :mod:`.coordinator` — spawns the workers, drives the conservative
+  window barrier, routes boundary traffic, and federates the shards'
+  AkitaRTM dashboards behind one gateway.
+"""
+
+from .boundary import (
+    BoundaryCodec,
+    BoundaryInjector,
+    ShardConnection,
+    build_port_registry,
+)
+from .coordinator import (
+    ShardCoordinator,
+    ShardGateway,
+    ShardResult,
+    ShardWorkerError,
+    run_sharded,
+)
+from .partition import chiplet_owners, owner_of_name
+from .runtime import ShardRuntime, resolve_workload, workload_spec
+
+__all__ = [
+    "BoundaryCodec",
+    "BoundaryInjector",
+    "ShardConnection",
+    "ShardCoordinator",
+    "ShardGateway",
+    "ShardResult",
+    "ShardRuntime",
+    "ShardWorkerError",
+    "build_port_registry",
+    "chiplet_owners",
+    "owner_of_name",
+    "resolve_workload",
+    "run_sharded",
+    "workload_spec",
+]

@@ -1,0 +1,554 @@
+"""Conservative time-window coordinator for sharded simulation.
+
+The :class:`ShardCoordinator` spawns one worker process per shard
+(``python -m repro.shard.worker``), speaks the fleet control framing
+with each over its pipes, and drives the barrier loop of conservative
+parallel discrete-event simulation:
+
+1. Every shard reports its next pending event time at the barrier.
+2. The coordinator grants the horizon ``T_min + W``, where ``T_min``
+   is the minimum across *active* shards and ``W`` — the sync window —
+   is the minimum cross-shard link latency from the config: no
+   boundary message sent at or after ``T_min`` can arrive before the
+   horizon, so every shard may run all events strictly before it.
+3. Shards run their window and return their outbox of exported
+   boundary messages; the coordinator routes each to the destination
+   shard (by port *name* — see :func:`~repro.shard.partition.
+   owner_of_name`) and injects them before granting the next window.
+
+When exactly one shard is active the lockstep window would degrade to
+ping-pong with nobody to synchronize against, so the coordinator
+grants a long *solo* horizon instead; the worker runs it in chunks and
+yields early on its first boundary export (see
+:meth:`ShardRuntime.run_window`).
+
+The coordinator is also the monitoring front door of a sharded run:
+its gateway federates every shard's AkitaRTM server into one dashboard
+— ``/metrics`` merges the shards' expositions under ``shard=`` labels
+together with the coordinator's own barrier metrics, ``/api/progress``
+sums per-kernel progress (each workgroup runs on exactly one shard),
+``/api/buffers`` concatenates buffer rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.request import Request, urlopen
+
+from ..core.server import (
+    BadRequest,
+    HTTPServerThread,
+    JSONRequestHandler,
+)
+from ..fleet.protocol import FrameDecoder, encode_command, split_batches
+from ..gpu.platform import GPUPlatformConfig
+from ..metrics import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..metrics import MetricRegistry, expose, federate
+from ..workloads import Workload
+from .partition import chiplet_owners, owner_of_name
+from .runtime import workload_spec
+
+__all__ = ["ShardCoordinator", "ShardGateway", "ShardResult",
+           "ShardWorkerError", "run_sharded"]
+
+#: Wall-clock budget for any single worker response.  Windows are
+#: milliseconds; even a solo fast-forward grant stays far inside this.
+_DEFAULT_TIMEOUT = 120.0
+
+#: Timeout for scraping a shard's live dashboard endpoints.
+_PROXY_TIMEOUT = 5.0
+
+#: Solo-mode grant length in cycles: long enough to amortize the
+#: barrier away during single-shard phases (kernel setup, memcopies,
+#: drain), short enough that the dashboard's picture of a solo shard
+#: stays fresh.
+_SOLO_GRANT_CYCLES = 100_000
+
+_WINDOW_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died, reported an error, or stopped responding."""
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """Outcome of one sharded run."""
+
+    completed: bool
+    num_shards: int
+    sim_time: float
+    windows: int
+    events: int
+    instructions: int
+    wgs: int
+    mem_reqs: int
+    boundary_messages: int
+    injected: int
+    wall_seconds: float
+    #: Spawn + full-platform build + init handshake across all shards
+    #: — the fixed cost a pool-style caller excludes from throughput
+    #: (a shard set boots once, then runs a long simulation).
+    boot_seconds: float
+    #: Final per-shard metric expositions (``None`` when run without
+    #: ``metrics``/``monitor``).
+    shard_metrics: Dict[int, Optional[str]]
+    shard_urls: Dict[int, Optional[str]]
+    dashboard_url: Optional[str]
+    progress: List[Dict[str, Any]]
+
+
+class _ShardProc:
+    """One worker process: pipes, framing, and a reader thread.
+
+    The reader timestamps every decoded event at arrival, so barrier
+    skew can be attributed to the shard that *finished* last, not the
+    one the coordinator happened to drain last.
+    """
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = os.environ.copy()
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.shard.worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, env=env)
+        self.decoder = FrameDecoder()
+        self._events: "queue.Queue[Optional[Tuple[float, dict]]]" = \
+            queue.Queue()
+        self._reader = threading.Thread(
+            target=self._read, daemon=True,
+            name=f"shard-reader-{shard}")
+        self._reader.start()
+
+    def _read(self) -> None:
+        stream = self.proc.stdout
+        while True:
+            chunk = stream.read1(65536)
+            if not chunk:
+                break
+            for event in self.decoder.feed(chunk):
+                self._events.put((time.monotonic(), event))
+        self.decoder.flush()
+        self._events.put(None)
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        try:
+            self.proc.stdin.write(encode_command(payload))
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard {self.shard}: worker pipe closed "
+                f"({exc})") from None
+
+    def recv(self, timeout: float) -> Tuple[float, Dict[str, Any]]:
+        """Next event with its arrival wall-clock timestamp."""
+        try:
+            item = self._events.get(timeout=timeout)
+        except queue.Empty:
+            raise ShardWorkerError(
+                f"shard {self.shard}: no response within "
+                f"{timeout:.0f}s") from None
+        if item is None:
+            raise ShardWorkerError(
+                f"shard {self.shard}: worker exited unexpectedly "
+                f"(rc={self.proc.poll()})")
+        wall, event = item
+        if event.get("event") == "shard-error":
+            raise ShardWorkerError(
+                f"shard {self.shard}: {event.get('op')} failed: "
+                f"{event.get('error')}")
+        return wall, event
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.send({"cmd": "shutdown"})
+            except ShardWorkerError:
+                pass
+            try:
+                self.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        for stream in (self.proc.stdin, self.proc.stdout):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+
+
+class ShardCoordinator:
+    """Drives N shard workers through conservative sync windows."""
+
+    def __init__(self, config: GPUPlatformConfig, workload: Workload,
+                 num_shards: int, *, monitor: bool = False,
+                 metrics: bool = False, port: int = 0,
+                 host: str = "127.0.0.1",
+                 timeout: float = _DEFAULT_TIMEOUT,
+                 solo_cycles: int = _SOLO_GRANT_CYCLES):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.config = config
+        self.workload = workload
+        self.num_shards = num_shards
+        self.owners = chiplet_owners(config.partition_chiplets(num_shards))
+        self.monitor = monitor
+        self.metrics = metrics
+        self.timeout = timeout
+        self._solo_seconds = solo_cycles / config.freq
+        self._window_seconds = config.shard_window_cycles / config.freq
+        self.registry = MetricRegistry()
+        self._m_window = self.registry.histogram(
+            "rtm_shard_window_seconds",
+            "Wall-clock duration of each sync-window round "
+            "(grant to last shard's barrier arrival)",
+            buckets=_WINDOW_BUCKETS)
+        self._m_boundary = self.registry.counter(
+            "rtm_shard_boundary_messages_total",
+            "Boundary messages exported by each shard", ("shard",))
+        self._m_barrier = self.registry.counter(
+            "rtm_shard_barrier_wait_seconds_total",
+            "Wall-clock time each shard spent finished at the barrier "
+            "waiting for the slowest shard (smallest total = laggard)",
+            ("shard",))
+        self._procs: List[_ShardProc] = []
+        self.shard_urls: Dict[int, Optional[str]] = {}
+        self._last_progress: Dict[int, List[Dict[str, Any]]] = {}
+        self._next_times: Dict[int, Optional[float]] = {}
+        self._final_metrics: Dict[int, Optional[str]] = {}
+        self._windows = 0
+        self._boundary_total = 0
+        self._boot_seconds = 0.0
+        self._gateway: Optional[ShardGateway] = None
+        self._gateway_port = port
+        self._gateway_host = host
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def dashboard_url(self) -> Optional[str]:
+        return self._gateway.url if self._gateway is not None else None
+
+    def run(self) -> ShardResult:
+        """Spawn, synchronize to completion, collect, and report.
+
+        The workers are reaped before return, but the federating
+        gateway (``monitor=True``) stays up — serving cached final
+        expositions and progress — until :meth:`close`.
+        """
+        start_wall = time.monotonic()
+        try:
+            self._spawn()
+            self._boot_seconds = time.monotonic() - start_wall
+            if self.monitor:
+                self._gateway = ShardGateway(
+                    self, host=self._gateway_host,
+                    port=self._gateway_port)
+                self._gateway.start()
+            completed = self._barrier_loop()
+            result = self._collect(completed, start_wall)
+        except Exception:
+            self.close()
+            raise
+        for proc in self._procs:
+            proc.close()
+        return result
+
+    def close(self) -> None:
+        for proc in self._procs:
+            proc.close()
+        if self._gateway is not None:
+            self._gateway.stop()
+            self._gateway = None
+
+    def _spawn(self) -> None:
+        spec = workload_spec(self.workload)
+        config_dict = dataclasses.asdict(self.config)
+        self._procs = [_ShardProc(k) for k in range(self.num_shards)]
+        for k, proc in enumerate(self._procs):
+            proc.send({"cmd": "init", "shard": k,
+                       "num_shards": self.num_shards,
+                       "config": config_dict, "workload": spec,
+                       "monitor": self.monitor, "metrics": self.metrics,
+                       "port": 0})
+        for k, proc in enumerate(self._procs):
+            _, ready = proc.recv(self.timeout)
+            if ready.get("event") != "shard-ready":
+                raise ShardWorkerError(
+                    f"shard {k}: expected shard-ready, got {ready!r}")
+            self.shard_urls[k] = ready.get("url")
+            self._next_times[k] = ready.get("next_time")
+
+    # ------------------------------------------------------------------
+    # The barrier loop
+    # ------------------------------------------------------------------
+    def _barrier_loop(self) -> bool:
+        """Window rounds until every shard is dry; returns whether the
+        hub's driver saw the workload through (vs. a global hang)."""
+        hub_done = False
+        while True:
+            active = {k: t for k, t in self._next_times.items()
+                      if t is not None}
+            if not active:
+                return hub_done
+            t_min = min(active.values())
+            solo = len(active) == 1
+            grant = self._solo_seconds if solo else self._window_seconds
+            horizon = t_min + grant
+            # Only shards with work inside the horizon run; a dry
+            # shard's clock is deliberately NOT advanced — injections
+            # it receives later must not be time-warped forward by a
+            # `max(deliver_at, now)` clamp.
+            run_set = [k for k, t in active.items() if t < horizon]
+            round_start = time.monotonic()
+            for k in run_set:
+                self._procs[k].send({
+                    "cmd": "window", "horizon": horizon,
+                    "chunk_seconds":
+                        self._window_seconds if solo else None})
+            inboxes: Dict[int, List[Dict[str, Any]]] = {}
+            arrivals: Dict[int, float] = {}
+            for k in run_set:
+                hub_done = self._await_window(k, inboxes, arrivals,
+                                              hub_done)
+            t_last = max(arrivals.values())
+            self._m_window.observe(t_last - round_start)
+            for k, at in arrivals.items():
+                self._m_barrier.labels(str(k)).inc(t_last - at)
+            for owner, items in inboxes.items():
+                for batch in split_batches(items):
+                    self._procs[owner].send({"cmd": "inject",
+                                             "msgs": batch})
+                earliest = min(i["deliver_at"] for i in items)
+                t = self._next_times[owner]
+                self._next_times[owner] = (
+                    earliest if t is None else min(t, earliest))
+            self._windows += 1
+
+    def _await_window(self, k: int,
+                      inboxes: Dict[int, List[Dict[str, Any]]],
+                      arrivals: Dict[int, float],
+                      hub_done: bool) -> bool:
+        proc = self._procs[k]
+        while True:
+            wall, event = proc.recv(self.timeout)
+            kind = event.get("event")
+            if kind == "shard-outbox":
+                msgs = event["msgs"]
+                self._boundary_total += len(msgs)
+                self._m_boundary.labels(str(k)).inc(len(msgs))
+                for item in msgs:
+                    owner = owner_of_name(item["msg"]["dst"],
+                                          self.owners)
+                    inboxes.setdefault(owner, []).append(item)
+            elif kind == "window-done":
+                arrivals[k] = wall
+                self._next_times[k] = event.get("next_time")
+                self._last_progress[k] = event.get("progress") or []
+                if k == 0:
+                    hub_done = bool(event.get("done"))
+                return hub_done
+            # Anything else (stray noise) is skipped.
+
+    # ------------------------------------------------------------------
+    # Shutdown & result
+    # ------------------------------------------------------------------
+    def _collect(self, completed: bool,
+                 start_wall: float) -> ShardResult:
+        for proc in self._procs:
+            proc.send({"cmd": "stop", "completed": completed})
+        sim_time = 0.0
+        events = instructions = wgs = mem_reqs = injected = 0
+        for k, proc in enumerate(self._procs):
+            while True:
+                _, event = proc.recv(self.timeout)
+                if event.get("event") == "shard-stopped":
+                    break
+            sim_time = max(sim_time,
+                           event.get("sim_time", event.get("now", 0.0)))
+            events += event.get("events", 0)
+            instructions += event.get("instructions", 0)
+            wgs += event.get("wgs", 0)
+            mem_reqs += event.get("mem_reqs", 0)
+            injected += event.get("injected", 0)
+            self._final_metrics[k] = event.get("metrics_text")
+        return ShardResult(
+            completed=completed, num_shards=self.num_shards,
+            sim_time=sim_time, windows=self._windows, events=events,
+            instructions=instructions, wgs=wgs, mem_reqs=mem_reqs,
+            boundary_messages=self._boundary_total, injected=injected,
+            wall_seconds=time.monotonic() - start_wall,
+            boot_seconds=self._boot_seconds,
+            shard_metrics=dict(self._final_metrics),
+            shard_urls=dict(self.shard_urls),
+            dashboard_url=self.dashboard_url,
+            progress=self.merged_progress())
+
+    # ------------------------------------------------------------------
+    # Federation (gateway data plane)
+    # ------------------------------------------------------------------
+    def federated_metrics(self) -> str:
+        """One exposition: coordinator families as preamble, every
+        shard's families labelled ``shard="k"``.
+
+        Final expositions (cached at ``stop``) win over a live scrape;
+        a shard that is both unstopped and unreachable is recorded as
+        a comment, never an error — monitoring must not take down the
+        run it watches.
+        """
+        expositions: List[Tuple[Dict[str, str], str]] = []
+        unreachable: List[int] = []
+        for k in range(self.num_shards):
+            text = self._final_metrics.get(k)
+            if text is None:
+                text = self._scrape(k, "/metrics")
+            if text is None:
+                unreachable.append(k)
+                continue
+            expositions.append(({"shard": str(k)}, text))
+        body = federate(expositions, label="shard",
+                        preamble=expose(self.registry))
+        for k in unreachable:
+            body += f"# shard {k} unreachable\n"
+        return body
+
+    def _scrape(self, k: int, path: str) -> Optional[str]:
+        url = self.shard_urls.get(k)
+        if not url:
+            return None
+        try:
+            with urlopen(Request(url + path, method="GET"),
+                         timeout=_PROXY_TIMEOUT) as rsp:
+                return rsp.read().decode("utf-8", "replace")
+        except OSError:
+            return None
+
+    def merged_progress(self) -> List[Dict[str, Any]]:
+        """Global per-kernel progress: each workgroup executes on
+        exactly one shard, so summing the shards' local counts is
+        exact; ``total`` is the (replicated) global grid size."""
+        merged: List[Dict[str, Any]] = []
+        for progress in self._last_progress.values():
+            for i, bar in enumerate(progress):
+                if i >= len(merged):
+                    merged.append({"id": i + 1, "name": bar["name"],
+                                   "completed": 0, "ongoing": 0,
+                                   "total": bar["total"]})
+                merged[i]["completed"] += bar["completed"]
+                merged[i]["ongoing"] += bar["ongoing"]
+        for bar in merged:
+            bar["not_started"] = max(
+                0, bar["total"] - bar["completed"] - bar["ongoing"])
+        return merged
+
+    def merged_buffers(self, params: Dict[str, str]) -> \
+            List[Dict[str, Any]]:
+        """Concatenated buffer rows from every live shard dashboard,
+        each tagged with its shard id."""
+        import json as _json
+        query = ""
+        if params:
+            from urllib.parse import urlencode
+            query = "?" + urlencode(params)
+        rows: List[Dict[str, Any]] = []
+        for k in range(self.num_shards):
+            text = self._scrape(k, "/api/buffers" + query)
+            if text is None:
+                continue
+            try:
+                payload = _json.loads(text)
+            except ValueError:
+                continue
+            for row in payload.get("buffers", []):
+                row["shard"] = k
+                rows.append(row)
+        return rows
+
+    def shard_status(self) -> Dict[str, Any]:
+        return {
+            "num_shards": self.num_shards,
+            "windows": self._windows,
+            "shards": [
+                {"shard": k, "url": self.shard_urls.get(k),
+                 "next_time": self._next_times.get(k)}
+                for k in range(self.num_shards)],
+        }
+
+
+# ----------------------------------------------------------------------
+# Gateway
+# ----------------------------------------------------------------------
+class _ShardGatewayHandler(JSONRequestHandler):
+    """Bound per-gateway via a dynamic subclass (see ShardGateway)."""
+
+    coordinator: ShardCoordinator = None  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path, params = self._query()
+        try:
+            if path == "/metrics":
+                body = self.coordinator.federated_metrics()
+                self._send_body(body.encode("utf-8"),
+                                _PROM_CONTENT_TYPE)
+            elif path == "/api/progress":
+                self._send_json(
+                    {"progress": self.coordinator.merged_progress()})
+            elif path == "/api/buffers":
+                self._send_json(
+                    {"buffers": self.coordinator.merged_buffers(params)})
+            elif path == "/api/shards":
+                self._send_json(self.coordinator.shard_status())
+            else:
+                self._send_error_json("not found", status=404)
+        except BadRequest as exc:
+            self._send_error_json(str(exc), status=400)
+        except Exception as exc:  # noqa: BLE001 - handler must answer
+            self._send_error_json(
+                f"{type(exc).__name__}: {exc}", status=500)
+
+
+class ShardGateway(HTTPServerThread):
+    """The single pane of glass over a sharded run's dashboards."""
+
+    thread_name = "rtm-shard-gateway"
+
+    def __init__(self, coordinator: ShardCoordinator,
+                 host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundShardGatewayHandler",
+                       (_ShardGatewayHandler,),
+                       {"coordinator": coordinator})
+        super().__init__(handler, host=host, port=port)
+
+
+# ----------------------------------------------------------------------
+# Convenience entry point
+# ----------------------------------------------------------------------
+def run_sharded(config: GPUPlatformConfig, workload: Workload,
+                num_shards: int, *, monitor: bool = False,
+                metrics: bool = False, port: int = 0,
+                timeout: float = _DEFAULT_TIMEOUT) -> ShardResult:
+    """Run *workload* on *config* split across *num_shards* processes
+    and tear everything down afterwards.  For a gateway that outlives
+    the run (interactive monitoring), drive :class:`ShardCoordinator`
+    directly and :meth:`~ShardCoordinator.close` it when finished."""
+    coordinator = ShardCoordinator(
+        config, workload, num_shards, monitor=monitor,
+        metrics=metrics, port=port, timeout=timeout)
+    try:
+        return coordinator.run()
+    finally:
+        coordinator.close()

@@ -1,0 +1,46 @@
+"""Partitioning the platform's component namespace across shards.
+
+A sharded run splits one multi-chiplet :class:`~repro.gpu.platform.
+GPUPlatform` into ``num_shards`` processes along the chiplet boundary:
+contiguous chiplet blocks (sizes differing by at most one, computed by
+:meth:`GPUPlatformConfig.partition_chiplets`), with shard 0 — the *hub*
+— additionally owning the host side (``Driver``) and the shared
+``InterChipletSwitch``.
+
+Ownership is decidable from a component or port *name* alone, which is
+what makes cross-process message routing a pure function: every port
+name starts with its root component's segment (``GPU[2].RDMA.NetPort``,
+``Driver.ToGPU``, ``InterChipletSwitch.Port1``), so the coordinator can
+route a wire message to its destination shard without any knowledge of
+the object graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..akita.naming import split_indexed
+
+__all__ = ["chiplet_owners", "owner_of_name"]
+
+
+def chiplet_owners(blocks: List[List[int]]) -> Dict[int, int]:
+    """Invert a partition (shard → chiplets) into chiplet → shard."""
+    owners: Dict[int, int] = {}
+    for shard, chiplets in enumerate(blocks):
+        for c in chiplets:
+            owners[c] = shard
+    return owners
+
+
+def owner_of_name(name: str, owners: Dict[int, int]) -> int:
+    """Shard owning the component/port with hierarchical *name*.
+
+    ``GPU[c].*`` belongs to chiplet *c*'s owner; everything else
+    (``Driver``, ``InterChipletSwitch``) belongs to the hub shard 0.
+    """
+    root = name.split(".", 1)[0]
+    base, indices = split_indexed(root)
+    if base == "GPU" and indices:
+        return owners[indices[0]]
+    return 0

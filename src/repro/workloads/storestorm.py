@@ -23,16 +23,28 @@ class StoreStorm(Workload):
     wavefronts_per_wg: int = 4
     stores_per_wavefront: int = 96
     stride: int = 512
+    #: When > 0, remap every store to a page owned by chiplet
+    #: ``wg % page_locality`` — with ``page_locality == num_chiplets``
+    #: each workgroup stores only to its own chiplet's memory (the
+    #: driver places wg *i* on chiplet ``i % num_chiplets``).  The
+    #: default 0 keeps the original pattern, whose ~(C-1)/C remote
+    #: stores hammer the RDMA/switch path.
+    page_locality: int = 0
 
     name = "storestorm"
 
     def kernel(self) -> KernelDescriptor:
         n = self.stores_per_wavefront
         stride = self.stride
+        locality = self.page_locality
 
         def program(wg: int, wf: int):
             for i in range(n):
                 addr = ((wg * 31 + wf * 17 + i * 3) * stride) % (1 << 22)
+                if locality:
+                    page = addr // 4096
+                    page = page - page % locality + wg % locality
+                    addr = page * 4096 + addr % 4096
                 yield ("store", addr, 4)
 
         return KernelDescriptor(self.name, self.num_workgroups,

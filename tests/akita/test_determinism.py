@@ -1,0 +1,106 @@
+"""Same-timestamp scheduling must not depend on process history.
+
+Event ids come from a process-global counter shared by every engine in
+the process (and, under the fleet, by monitor threads).  If the queue
+broke ties on those ids, two runs of the *same* simulation would order
+same-tick events differently whenever anything else in the process had
+minted events in between — and a sharded run could never be checked
+for equivalence against a monolithic one.  The queue therefore breaks
+ties with a per-queue insertion sequence, which depends only on what
+was pushed into *this* queue and in what order.
+"""
+
+from repro.akita import Engine, Event, EventQueue, TickEvent
+
+
+class _Recorder:
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, event):
+        self.seen.append(event)
+
+
+class _Tagged(Event):
+    __slots__ = ("tag",)
+
+    def __init__(self, time, handler, tag):
+        super().__init__(time, handler)
+        self.tag = tag
+
+
+class _TaggedTick(TickEvent):
+    __slots__ = ("tag",)
+
+    def __init__(self, time, handler, tag):
+        super().__init__(time, handler)
+        self.tag = tag
+
+
+def _pollute_global_ids(n):
+    """Mint events on the side, advancing the global id counter the way
+    an unrelated engine (or a monitor thread) in the process would."""
+    h = _Recorder()
+    for _ in range(n):
+        Event(0.0, h)
+
+
+def _storm(queue, handler, pollution):
+    """Push a same-timestamp storm, interleaving id pollution so the
+    global ids of 'identical' events differ run to run."""
+    events = []
+    for i in range(64):
+        _pollute_global_ids(pollution * (i % 3))
+        cls = _TaggedTick if i % 4 == 0 else _Tagged
+        event = cls(1.0, handler, i)
+        queue.push(event)
+        events.append(event)
+    return events
+
+
+def test_same_time_pops_follow_insertion_order_per_class():
+    h = _Recorder()
+    order_by_pollution = []
+    for pollution in (0, 7):
+        q = EventQueue()
+        _storm(q, h, pollution)
+        popped = [q.pop().tag for _ in range(len(q))]
+        order_by_pollution.append(popped)
+    # Identical push sequences pop identically, no matter how the
+    # process-global id counter moved in between.
+    assert order_by_pollution[0] == order_by_pollution[1]
+    # Within the same timestamp: every primary before every secondary,
+    # each class in insertion order.
+    popped = order_by_pollution[0]
+    primaries = [t for t in popped if t % 4 != 0]
+    secondaries = [t for t in popped if t % 4 == 0]
+    assert popped == primaries + secondaries
+    assert primaries == sorted(primaries)
+    assert secondaries == sorted(secondaries)
+
+
+def test_engine_handles_same_time_storm_deterministically():
+    orders = []
+    for pollution in (0, 13):
+        engine = Engine()
+        recorder = _Recorder()
+        _pollute_global_ids(pollution)
+        for i in range(32):
+            _pollute_global_ids(pollution)
+            engine.schedule(_Tagged(2.5e-9, recorder, i))
+        engine.run()
+        orders.append([e.tag for e in recorder.seen])
+    assert orders[0] == orders[1] == list(range(32))
+
+
+def test_tie_break_is_per_queue_not_global():
+    """Two queues filled in lockstep stay independent: pushing into one
+    never perturbs ordering in the other."""
+    h = _Recorder()
+    qa, qb = EventQueue(), EventQueue()
+    for i in range(16):
+        qa.push(_Tagged(1.0, h, i))
+        # Interleave pushes into the sibling queue.
+        for _ in range(3):
+            qb.push(_Tagged(1.0, h, -1))
+    assert [qa.pop().tag for _ in range(len(qa))] == list(range(16))

@@ -1,0 +1,131 @@
+"""Framing over a *real* OS pipe: chunk boundaries chosen by the
+kernel, torn writers, and the 8 MB oversized-line guard.
+
+The in-memory framing tests slice byte strings by hand; these push the
+same frames through ``os.pipe()`` so the chunking is whatever
+``os.read`` actually returns.  They also pin the two loss-visibility
+guarantees the shard outbox relies on: an oversized frame is *counted*
+(``decoder.oversized``), never silently swallowed, and
+:func:`split_batches` keeps every sender frame under the cap so the
+counter stays at zero in correct use.
+"""
+
+import io
+import json
+import os
+import threading
+
+import pytest
+
+from repro.fleet.protocol import (
+    CONTROL_PREFIX,
+    FrameDecoder,
+    emit,
+    split_batches,
+)
+from repro.fleet.protocol import _MAX_LINE_BYTES
+
+
+def _pump(write_fd, read_fd, decoder):
+    """Close the writer, then drain the reader through the decoder the
+    way the manager does: read1-sized chunks until EOF, then flush."""
+    os.close(write_fd)
+    events = []
+    while True:
+        chunk = os.read(read_fd, 65536)
+        if not chunk:
+            break
+        events.extend(decoder.feed(chunk))
+    events.extend(decoder.flush())
+    os.close(read_fd)
+    return events
+
+
+def test_emit_round_trips_through_pipe_chunks():
+    read_fd, write_fd = os.pipe()
+    payloads = [{"event": "progress", "job_id": f"j{i}", "n": i,
+                 "blob": "x" * 3000} for i in range(200)]
+
+    # ~600 KB exceeds the pipe's capacity, so the writer must run
+    # concurrently with the draining reader — exactly the live
+    # manager/worker topology.
+    def _write():
+        writer = io.TextIOWrapper(
+            os.fdopen(write_fd, "wb", closefd=False))
+        for payload in payloads:
+            emit(payload, stream=writer)
+        writer.flush()
+        writer.detach()
+
+    producer = threading.Thread(target=_write)
+    producer.start()
+    decoder = FrameDecoder()
+    events = []
+    received = 0
+    while received < len(payloads):
+        chunk = os.read(read_fd, 65536)
+        assert chunk, "writer closed early"
+        fresh = decoder.feed(chunk)
+        events.extend(fresh)
+        received += len(fresh)
+    producer.join()
+    events.extend(_pump(write_fd, read_fd, decoder))
+    assert events == payloads
+    assert decoder.errors == 0
+    assert decoder.oversized == 0
+
+
+def test_torn_frame_at_eof_is_counted_not_parsed():
+    read_fd, write_fd = os.pipe()
+    os.write(write_fd, (CONTROL_PREFIX + '{"event": "done"}\n').encode())
+    # The worker dies mid-write: no trailing newline, truncated JSON.
+    os.write(write_fd, (CONTROL_PREFIX + '{"event": "fin').encode())
+    decoder = FrameDecoder()
+    events = _pump(write_fd, read_fd, decoder)
+    assert events == [{"event": "done"}]
+    assert decoder.errors == 1
+
+
+def test_oversized_line_is_dropped_and_counted():
+    read_fd, write_fd = os.pipe()
+    decoder = FrameDecoder()
+    # A single frame beyond the cap, written newline-free so the
+    # decoder must buffer it: it has to give up without ballooning.
+    blob = b"g" * (_MAX_LINE_BYTES + 4096)
+    view = memoryview(blob)
+    events = []
+    offset = 0
+    while offset < len(view):
+        offset += os.write(write_fd, view[offset:offset + 65536])
+        events.extend(decoder.feed(os.read(read_fd, 65536)))
+    os.write(write_fd, (b"\n" + CONTROL_PREFIX.encode() +
+                        b'{"event": "after"}\n'))
+    events.extend(_pump(write_fd, read_fd, decoder))
+    assert decoder.oversized == 1
+    # Loss is visible, and the channel recovers for the next frame.
+    assert {"event": "after"} in events
+
+
+def test_split_batches_keeps_every_frame_under_the_cap():
+    items = [{"msg": {"kind": "net", "payload": "z" * 900}, "at": i}
+             for i in range(5000)]
+    batches = split_batches(items, max_bytes=64 * 1024)
+    assert [i for b in batches for i in b] == items  # nothing lost
+    assert len(batches) > 1
+    for batch in batches:
+        assert len(json.dumps(batch)) <= 64 * 1024
+    # Each batch survives framing comfortably under the decoder cap.
+    assert all(len(json.dumps(b)) < _MAX_LINE_BYTES for b in batches)
+
+
+def test_split_batches_single_huge_item_still_ships():
+    huge = {"blob": "y" * 10000}
+    batches = split_batches([{"a": 1}, huge, {"b": 2}], max_bytes=1024)
+    assert [i for b in batches for i in b] == [{"a": 1}, huge, {"b": 2}]
+    assert [huge] in batches  # alone in its own over-budget chunk
+
+
+def test_split_batches_rejects_nonpositive_budget():
+    for bad in (0, -1):
+        with pytest.raises(ValueError):
+            split_batches([{"a": 1}], max_bytes=bad)

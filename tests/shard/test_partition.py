@@ -1,0 +1,55 @@
+"""Partition math: every chiplet on exactly one shard, names route."""
+
+import pytest
+
+from repro.akita.errors import ConfigurationError
+from repro.gpu.platform import GPUPlatformConfig
+from repro.shard import chiplet_owners, owner_of_name
+
+
+def _config(n):
+    return GPUPlatformConfig.small(num_chiplets=n)
+
+
+@pytest.mark.parametrize("num_chiplets", [1, 2, 3, 4, 5, 8])
+def test_every_chiplet_assigned_exactly_once(num_chiplets):
+    config = _config(num_chiplets)
+    for num_shards in range(1, num_chiplets + 1):
+        blocks = config.partition_chiplets(num_shards)
+        assert len(blocks) == num_shards
+        flat = [c for block in blocks for c in block]
+        assert sorted(flat) == list(range(num_chiplets)), (
+            num_shards, blocks)
+
+
+def test_uneven_split_sizes_differ_by_at_most_one():
+    blocks = _config(5).partition_chiplets(3)
+    sizes = [len(b) for b in blocks]
+    assert sum(sizes) == 5
+    assert max(sizes) - min(sizes) <= 1
+    # Contiguous blocks, in order: chiplet c's block start never
+    # precedes chiplet c-1's.
+    assert blocks == [[0, 1], [2, 3], [4]]
+
+
+def test_one_shard_is_the_degenerate_monolithic_case():
+    blocks = _config(4).partition_chiplets(1)
+    assert blocks == [[0, 1, 2, 3]]
+    owners = chiplet_owners(blocks)
+    assert set(owners.values()) == {0}
+
+
+@pytest.mark.parametrize("bad", [0, -1, 5])
+def test_bad_shard_counts_raise(bad):
+    with pytest.raises(ConfigurationError):
+        _config(4).partition_chiplets(bad)
+
+
+def test_owner_of_name_routes_by_root_segment():
+    owners = chiplet_owners(_config(4).partition_chiplets(2))
+    assert owners == {0: 0, 1: 0, 2: 1, 3: 1}
+    assert owner_of_name("GPU[0].SA[1].CU[2].ToL1", owners) == 0
+    assert owner_of_name("GPU[3].RDMA.NetPort", owners) == 1
+    # Host side belongs to the hub shard.
+    assert owner_of_name("Driver.ToGPU", owners) == 0
+    assert owner_of_name("InterChipletSwitch.Port2", owners) == 0
